@@ -1,0 +1,52 @@
+package trustddl
+
+import (
+	"time"
+
+	"github.com/trustddl/trustddl/internal/byzantine"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// Byzantine adversary strategies, matching the three misbehaviour cases
+// of the paper's security analysis (Appendix, Proof 6.2). Install them
+// via Config.Adversaries (share corruption) or Config.Interceptors
+// (message-level faults).
+
+// ConsistentLiar is Case 3: shares are corrupted before the commitment
+// is computed, so hash checks pass and only the minimum-distance
+// decision rule neutralizes the party.
+type ConsistentLiar = byzantine.ConsistentLiar
+
+// CommitViolator is Case 1: the party commits honestly but opens
+// corrupted shares to everyone; every honest party's hash check
+// convicts it.
+type CommitViolator = byzantine.CommitViolator
+
+// Equivocator is Case 2: corrupted openings go to one target party
+// only, so the honest parties cannot reach consensus on the offender —
+// yet each recovers independently.
+type Equivocator = byzantine.Equivocator
+
+// SendInterceptor rewrites or drops a party's outbound messages
+// (Config.Interceptors).
+type SendInterceptor = transport.SendInterceptor
+
+// DropOpenings models a party that commits and then withholds its
+// share openings; honest receive timers flag it.
+func DropOpenings() SendInterceptor { return byzantine.DropOpenings() }
+
+// DropAll models a crashed party (the SafeML fault model).
+func DropAll() SendInterceptor { return byzantine.DropAll() }
+
+// Delay delays every message whose step has the given suffix
+// (empty = all) — the deliberate-delay behaviour of §III-B.
+func Delay(d time.Duration, stepSuffix string) SendInterceptor {
+	return byzantine.Delay(d, stepSuffix)
+}
+
+// CorruptPayload flips bits in matching payloads in transit; the
+// commitment check catches it because the wire bytes no longer hash to
+// the committed digest.
+func CorruptPayload(stepSuffix string) SendInterceptor {
+	return byzantine.CorruptPayload(stepSuffix)
+}

@@ -1,0 +1,57 @@
+package trustddl
+
+import (
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+// Custom architectures: beyond the paper's Table I network, any
+// feed-forward stack of convolution, fully-connected and ReLU layers
+// (with the softmax + cross-entropy head) can be trained and served
+// securely via Cluster.NewRunArch.
+
+// Arch declares a feed-forward architecture.
+type Arch = nn.Arch
+
+// LayerSpec declares one layer of an Arch.
+type LayerSpec = nn.LayerSpec
+
+// ConvShape describes a 2-D convolution geometry.
+type ConvShape = tensor.ConvShape
+
+// Dense declares a fully connected layer (computed with SecMatMul-BT).
+func Dense(in, out int) LayerSpec { return nn.DenseSpec(in, out) }
+
+// Conv declares a convolution layer (im2col-lowered to SecMatMul-BT).
+func Conv(shape ConvShape, outChannels int) LayerSpec { return nn.ConvSpec(shape, outChannels) }
+
+// ReLU declares the activation layer (computed with SecComp-BT; the
+// sign pattern is public, §III-C of the paper).
+func ReLU() LayerSpec { return nn.ReLUSpec() }
+
+// PoolShape describes a non-overlapping max-pooling window over the
+// position-major, channel-minor activation layout.
+type PoolShape = nn.PoolShape
+
+// MaxPool declares a max-pooling layer (Window²−1 SecComp-BT
+// comparisons; the argmax pattern is public, like the ReLU mask).
+func MaxPool(shape PoolShape) LayerSpec { return nn.MaxPoolSpec(shape) }
+
+// AvgPool declares an average-pooling layer (linear, fully local on
+// shares — zero protocol rounds).
+func AvgPool(shape PoolShape) LayerSpec { return nn.AvgPoolSpec(shape) }
+
+// PaperArch is the paper's Table I architecture as a spec.
+func PaperArch() Arch { return nn.PaperArch() }
+
+// Mat64 is a plaintext float64 matrix (weights, activations).
+type Mat64 = nn.Mat64
+
+// SaveModel persists an architecture and its plaintext weights (the
+// model owner's artifact) to a single versioned file.
+func SaveModel(path string, arch Arch, weights []Mat64) error {
+	return nn.SaveModel(path, arch, weights)
+}
+
+// LoadModel reads a model saved by SaveModel.
+func LoadModel(path string) (Arch, []Mat64, error) { return nn.LoadModel(path) }

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunSingleFramework(t *testing.T) {
+	// Falcon is the cheapest row; a 1-iteration run keeps this a unit
+	// test while covering the full output path.
+	if err := run([]string{"-iters", "1", "-seed", "9", "-frameworks", "Falcon"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-iters", "x"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

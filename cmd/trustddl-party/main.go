@@ -1,0 +1,103 @@
+// Command trustddl-party runs one TrustDDL computing party as a
+// long-lived TCP server: it joins the five-actor mesh, waits for the
+// model owner to distribute weight shares, and then serves training
+// batches and inference requests until shut down. Together with a
+// driver process (the owners) it realizes the distributed deployment of
+// the paper's Fig. 1 across real machines.
+//
+// Usage:
+//
+//	trustddl-party -party 1 \
+//	  -addrs "1=10.0.0.1:7001,2=10.0.0.2:7001,3=10.0.0.3:7001,4=10.0.0.4:7001,5=10.0.0.5:7001" \
+//	  [-hbc] [-timeout 5s]
+//
+// The actor IDs are: 1..3 computing parties, 4 model owner, 5 data
+// owner.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/trustddl/trustddl/internal/core"
+	"github.com/trustddl/trustddl/internal/fixed"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/party"
+	"github.com/trustddl/trustddl/internal/protocol"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trustddl-party:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("trustddl-party", flag.ContinueOnError)
+	partyID := fs.Int("party", 0, "computing party index (1..3)")
+	addrs := fs.String("addrs", "", "actor addresses as 'id=host:port' pairs, comma separated, for all five actors")
+	hbc := fs.Bool("hbc", false, "run without the commitment phase (honest-but-curious mode)")
+	timeout := fs.Duration("timeout", party.DefaultTimeout, "per-message receive timer")
+	fracBits := fs.Uint("frac-bits", fixed.DefaultFracBits, "fixed-point fractional bits (must match the driver)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *partyID < 1 || *partyID > 3 {
+		return fmt.Errorf("-party must be 1, 2 or 3")
+	}
+	addrMap, err := parseAddrs(*addrs)
+	if err != nil {
+		return err
+	}
+	params, err := fixed.NewParams(*fracBits)
+	if err != nil {
+		return err
+	}
+
+	netw := transport.NewTCPNetwork(addrMap)
+	defer netw.Close()
+	ep, err := netw.Endpoint(*partyID)
+	if err != nil {
+		return err
+	}
+	ctx, err := protocol.NewCtx(party.NewRouter(ep, *timeout), *partyID, params, !*hbc)
+	if err != nil {
+		return err
+	}
+	mode := "malicious"
+	if *hbc {
+		mode = "honest-but-curious"
+	}
+	fmt.Printf("trustddl-party: P%d serving at %s (%s mode, F=%d)\n",
+		*partyID, addrMap[*partyID], mode, *fracBits)
+	return core.ServeParty(ctx, nn.OwnerSource{Ctx: ctx})
+}
+
+func parseAddrs(s string) (map[int]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-addrs is required")
+	}
+	out := make(map[int]string, transport.NumActors)
+	for _, pair := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("malformed address pair %q (want id=host:port)", pair)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil || n < 1 || n > transport.NumActors {
+			return nil, fmt.Errorf("bad actor id %q", id)
+		}
+		out[n] = addr
+	}
+	for n := 1; n <= transport.NumActors; n++ {
+		if _, ok := out[n]; !ok {
+			return nil, fmt.Errorf("missing address for actor %d (%s)", n, transport.ActorName(n))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAddrs(t *testing.T) {
+	full := "1=a:1,2=b:2,3=c:3,4=d:4,5=e:5"
+	got, err := parseAddrs(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[1] != "a:1" || got[5] != "e:5" {
+		t.Fatalf("parsed %v", got)
+	}
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "empty", give: ""},
+		{name: "missing actor", give: "1=a:1,2=b:2,3=c:3,4=d:4"},
+		{name: "bad id", give: strings.Replace(full, "1=", "9=", 1)},
+		{name: "malformed pair", give: "1=a:1,2=b:2,3=c:3,4=d:4,banana"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := parseAddrs(tt.give); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestRunValidatesFlags(t *testing.T) {
+	if err := run([]string{"-party", "0", "-addrs", "x"}); err == nil {
+		t.Fatal("party 0 accepted")
+	}
+	if err := run([]string{"-party", "1"}); err == nil {
+		t.Fatal("missing addrs accepted")
+	}
+	if err := run([]string{"-party", "1", "-addrs", "1=a,2=b,3=c,4=d,5=e", "-frac-bits", "99"}); err == nil {
+		t.Fatal("bad precision accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestPrintConfig(t *testing.T) {
+	if err := run([]string{"-print-config"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTinyFig2RunWithSave(t *testing.T) {
+	if testing.Short() {
+		t.Skip("secure training in -short mode")
+	}
+	model := filepath.Join(t.TempDir(), "m.tddl")
+	err := run([]string{
+		"-epochs", "1", "-train", "20", "-test", "10", "-batch", "10",
+		"-lr", "0.3", "-seed", "3", "-save", model,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-epochs", "zero"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package trustddl
+
+import "github.com/trustddl/trustddl/internal/mnist"
+
+// Image is one normalized 28×28 sample with its label.
+type Image = mnist.Image
+
+// Dataset is an ordered collection of samples.
+type Dataset = mnist.Dataset
+
+// Workload dimensions (Table I).
+const (
+	// NumPixels is the flattened image size (28·28).
+	NumPixels = mnist.NumPixels
+	// NumClasses is the label arity.
+	NumClasses = mnist.NumClasses
+)
+
+// SyntheticDataset generates n deterministic MNIST-like samples (the
+// default Fig. 2 workload when the real dataset is absent; see
+// DESIGN.md §4).
+func SyntheticDataset(seed uint64, n int) Dataset { return mnist.Synthetic(seed, n) }
+
+// LoadMNIST parses an original MNIST IDX file pair.
+func LoadMNIST(imagesPath, labelsPath string) (Dataset, error) {
+	return mnist.LoadIDX(imagesPath, labelsPath)
+}
+
+// LoadDataset returns real MNIST from dir when the IDX files are
+// present, else synthetic data of the requested sizes. The bool result
+// reports whether real data was used.
+func LoadDataset(dir string, trainN, testN int, seed uint64) (train, test Dataset, real bool) {
+	return mnist.Load(dir, trainN, testN, seed)
+}

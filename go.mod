@@ -1,0 +1,3 @@
+module github.com/trustddl/trustddl
+
+go 1.23

@@ -1,0 +1,232 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/trustddl/trustddl/internal/core"
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+// plainPredict is the ground truth for the simulators.
+func plainPredict(t *testing.T, w nn.PaperWeights, img mnist.Image) int {
+	t.Helper()
+	net, err := nn.NewPlainPaperNet(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.MustNew[float64](1, mnist.NumPixels)
+	copy(x.Data, img.Pixels[:])
+	pred, err := net.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pred[0]
+}
+
+// exerciseFramework validates one framework end to end: inference must
+// match the plaintext model, a training step must run, and traffic must
+// be metered.
+func exerciseFramework(t *testing.T, f Framework) {
+	t.Helper()
+	defer func() {
+		if err := f.Close(); err != nil {
+			t.Errorf("close %s: %v", f.Name(), err)
+		}
+	}()
+	w, err := nn.InitPaperWeights(77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Setup(w); err != nil {
+		t.Fatalf("%s setup: %v", f.Name(), err)
+	}
+	imgs := mnist.Synthetic(99, 3).Images
+	f.ResetStats()
+	for i, img := range imgs {
+		got, err := f.Infer(img)
+		if err != nil {
+			t.Fatalf("%s infer %d: %v", f.Name(), i, err)
+		}
+		if want := plainPredict(t, w, img); got != want {
+			t.Fatalf("%s image %d: predicted %d, plaintext %d", f.Name(), i, got, want)
+		}
+	}
+	inferBytes := f.Stats().Bytes
+	if inferBytes == 0 {
+		t.Fatalf("%s inference produced no metered traffic", f.Name())
+	}
+	f.ResetStats()
+	if err := f.TrainStep(imgs[0], 0.05); err != nil {
+		t.Fatalf("%s train step: %v", f.Name(), err)
+	}
+	if f.Stats().Bytes <= inferBytes/3 {
+		t.Fatalf("%s training traffic %d implausibly low vs inference %d", f.Name(), f.Stats().Bytes, inferBytes)
+	}
+}
+
+func TestSecureNN(t *testing.T) {
+	f, err := NewSecureNN(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "SecureNN" || f.AdversaryModel() != "Honest-but-Curious" {
+		t.Fatalf("labels: %s/%s", f.Name(), f.AdversaryModel())
+	}
+	exerciseFramework(t, f)
+}
+
+func TestFalconHbC(t *testing.T) {
+	f, err := NewFalcon(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.AdversaryModel() != "Honest-but-Curious" {
+		t.Fatalf("model: %s", f.AdversaryModel())
+	}
+	exerciseFramework(t, f)
+}
+
+func TestFalconMalicious(t *testing.T) {
+	f, err := NewFalcon(3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.AdversaryModel() != "Malicious" {
+		t.Fatalf("model: %s", f.AdversaryModel())
+	}
+	exerciseFramework(t, f)
+}
+
+func TestSafeML(t *testing.T) {
+	f, err := NewSafeML(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "SafeML" || f.AdversaryModel() != "Crash-Fault" {
+		t.Fatalf("labels: %s/%s", f.Name(), f.AdversaryModel())
+	}
+	exerciseFramework(t, f)
+}
+
+func TestTrustDDLFrameworkWrappers(t *testing.T) {
+	for _, mode := range []core.Mode{core.HonestButCurious, core.Malicious} {
+		f, err := NewTrustDDL(5, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Name() != "TrustDDL" || f.AdversaryModel() != mode.String() {
+			t.Fatalf("labels: %s/%s", f.Name(), f.AdversaryModel())
+		}
+		exerciseFramework(t, f)
+	}
+}
+
+func TestTrainStepMovesWeights(t *testing.T) {
+	// After enough SecureNN training steps on one image, the prediction
+	// for that image must become its label (secure SGD really learns).
+	f, err := NewSecureNN(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := nn.InitPaperWeights(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Setup(w); err != nil {
+		t.Fatal(err)
+	}
+	img := mnist.Synthetic(7, 1).Images[0]
+	for i := 0; i < 12; i++ {
+		if err := f.TrainStep(img, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := f.Infer(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != img.Label {
+		t.Fatalf("after overfitting one image: predicted %d, label %d", got, img.Label)
+	}
+}
+
+func TestFalconTrainStepMovesWeights(t *testing.T) {
+	f, err := NewFalcon(8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := nn.InitPaperWeights(81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Setup(w); err != nil {
+		t.Fatal(err)
+	}
+	img := mnist.Synthetic(9, 1).Images[0]
+	for i := 0; i < 12; i++ {
+		if err := f.TrainStep(img, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := f.Infer(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != img.Label {
+		t.Fatalf("after overfitting one image: predicted %d, label %d", got, img.Label)
+	}
+}
+
+func TestCommunicationOrdering(t *testing.T) {
+	// The Table II shape: Falcon-HbC < SecureNN < Falcon-Mal <<
+	// TrustDDL-HbC ≈ SafeML < TrustDDL-Mal (per-inference bytes).
+	w, err := nn.InitPaperWeights(83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := mnist.Synthetic(11, 1).Images[0]
+	measure := func(f Framework, err error) int64 {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := f.Setup(w); err != nil {
+			t.Fatal(err)
+		}
+		f.ResetStats()
+		if _, err := f.Infer(img); err != nil {
+			t.Fatal(err)
+		}
+		return f.Stats().Bytes
+	}
+
+	falconHbC := measure(NewFalcon(21, false))
+	falconMal := measure(NewFalcon(22, true))
+	secureNN := measure(NewSecureNN(23))
+	safeML := measure(NewSafeML(24))
+	trustHbC := measure(NewTrustDDL(25, core.HonestButCurious))
+	trustMal := measure(NewTrustDDL(26, core.Malicious))
+
+	t.Logf("inference bytes: falcon=%d falconMal=%d securenn=%d safeml=%d trustHbC=%d trustMal=%d",
+		falconHbC, falconMal, secureNN, safeML, trustHbC, trustMal)
+	if !(falconHbC < secureNN) {
+		t.Errorf("Falcon-HbC (%d) not below SecureNN (%d)", falconHbC, secureNN)
+	}
+	if !(falconHbC < falconMal) {
+		t.Errorf("Falcon-HbC (%d) not below Falcon-Mal (%d)", falconHbC, falconMal)
+	}
+	if !(secureNN < trustHbC) {
+		t.Errorf("SecureNN (%d) not below TrustDDL-HbC (%d)", secureNN, trustHbC)
+	}
+	if safeML != trustHbC {
+		t.Errorf("SafeML (%d) differs from TrustDDL-HbC (%d); expected identical profiles", safeML, trustHbC)
+	}
+	if !(trustHbC < trustMal) {
+		t.Errorf("TrustDDL-HbC (%d) not below TrustDDL-Mal (%d)", trustHbC, trustMal)
+	}
+}

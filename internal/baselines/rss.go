@@ -1,0 +1,340 @@
+package baselines
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"github.com/trustddl/trustddl/internal/fixed"
+	"github.com/trustddl/trustddl/internal/party"
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/tensor"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// Replicated 2-out-of-3 secret sharing (RSS), the substrate of the
+// Falcon baseline: a secret x = x₁+x₂+x₃ is held as pairs, party i
+// holding (xᵢ, xᵢ₊₁). Linear operations are local; multiplication is a
+// local cross-product plus a single-matrix resharing round — the reason
+// Falcon's communication is an order of magnitude below Beaver-style
+// protocols in Table II.
+
+// rssShare is one party's replicated share pair.
+type rssShare struct {
+	Cur  Mat // x_i
+	Next Mat // x_{i+1}
+}
+
+// rssMACKey is the public stand-in for the MAC key of the malicious
+// variant; a real deployment would secret-share it among the parties.
+// The simulator only needs the authentication traffic and work, not
+// its secrecy.
+const rssMACKey int64 = 0x51d3_c0de
+
+func rssPrev(i int) int { return (i+1)%3 + 1 }
+
+func rssNext(i int) int { return i%3 + 1 }
+
+// rssCtx is one Falcon party's runtime.
+type rssCtx struct {
+	Router *party.Router
+	Index  int // 1..3 (also the actor ID)
+	Params fixed.Params
+	// Malicious enables Falcon's malicious-security additions:
+	// redundant resharing to both neighbours plus digest cross-checks
+	// (detect-and-abort — Falcon cannot recover, §IV-C).
+	Malicious bool
+	// zeroOwn is the PRG key k_i shared with the next party; zeroPrev
+	// is k_{i−1} shared with the previous party. Together they yield
+	// pseudorandom zero-sharings without communication.
+	zeroOwn  *sharing.SeededSource
+	zeroPrev *sharing.SeededSource
+}
+
+// rssShareSecret splits a ring matrix into the three replicated pairs.
+func rssShareSecret(src sharing.Source, m Mat) ([3]rssShare, error) {
+	shares, err := sharing.CreateShares(src, m, 3)
+	if err != nil {
+		return [3]rssShare{}, err
+	}
+	var out [3]rssShare
+	for i := 0; i < 3; i++ {
+		out[i] = rssShare{Cur: shares[i], Next: shares[(i+1)%3]}
+	}
+	return out, nil
+}
+
+// rssZero draws this party's component of a fresh pseudorandom
+// zero-sharing (α₁+α₂+α₃ = 0) of the given shape. All parties must call
+// it in lockstep.
+func (ctx *rssCtx) rssZero(rows, cols int) Mat {
+	alpha := tensor.MustNew[int64](rows, cols)
+	for i := range alpha.Data {
+		alpha.Data[i] = int64(ctx.zeroOwn.Uint64()) - int64(ctx.zeroPrev.Uint64())
+	}
+	return alpha
+}
+
+// add is the local share addition.
+func (a rssShare) add(b rssShare) (rssShare, error) {
+	cur, err := a.Cur.Add(b.Cur)
+	if err != nil {
+		return rssShare{}, err
+	}
+	next, err := a.Next.Add(b.Next)
+	if err != nil {
+		return rssShare{}, err
+	}
+	return rssShare{Cur: cur, Next: next}, nil
+}
+
+// sub is the local share subtraction.
+func (a rssShare) sub(b rssShare) (rssShare, error) {
+	cur, err := a.Cur.Sub(b.Cur)
+	if err != nil {
+		return rssShare{}, err
+	}
+	next, err := a.Next.Sub(b.Next)
+	if err != nil {
+		return rssShare{}, err
+	}
+	return rssShare{Cur: cur, Next: next}, nil
+}
+
+// scale multiplies by a public ring constant, locally and exactly.
+func (a rssShare) scale(k int64) rssShare {
+	return rssShare{Cur: a.Cur.Scale(k), Next: a.Next.Scale(k)}
+}
+
+// maskPublic multiplies element-wise by a public 0/1 matrix.
+func (a rssShare) maskPublic(mask Mat) (rssShare, error) {
+	cur, err := a.Cur.Hadamard(mask)
+	if err != nil {
+		return rssShare{}, err
+	}
+	next, err := a.Next.Hadamard(mask)
+	if err != nil {
+		return rssShare{}, err
+	}
+	return rssShare{Cur: cur, Next: next}, nil
+}
+
+// transpose is a local transformation.
+func (a rssShare) transpose() rssShare {
+	return rssShare{Cur: a.Cur.Transpose(), Next: a.Next.Transpose()}
+}
+
+// rssMul multiplies two replicated sharings: the local cross terms
+// t_i = x_i∘y_i + x_i∘y_{i+1} + x_{i+1}∘y_i are blinded by a zero-share
+// and reshared with one matrix per party (two plus digests in the
+// malicious variant). The result is truncated back to single
+// fixed-point scale unless raw is set.
+func rssMul(ctx *rssCtx, session string, x, y rssShare, matmul, raw bool) (rssShare, error) {
+	mul := func(a, b Mat) (Mat, error) {
+		if matmul {
+			return a.MatMul(b)
+		}
+		return a.Hadamard(b)
+	}
+	t1, err := mul(x.Cur, y.Cur)
+	if err != nil {
+		return rssShare{}, fmt.Errorf("baselines: rss mul: %w", err)
+	}
+	t2, err := mul(x.Cur, y.Next)
+	if err != nil {
+		return rssShare{}, err
+	}
+	t3, err := mul(x.Next, y.Cur)
+	if err != nil {
+		return rssShare{}, err
+	}
+	if err := t1.AddInPlace(t2); err != nil {
+		return rssShare{}, err
+	}
+	if err := t1.AddInPlace(t3); err != nil {
+		return rssShare{}, err
+	}
+	if err := t1.AddInPlace(ctx.rssZero(t1.Rows, t1.Cols)); err != nil {
+		return rssShare{}, err
+	}
+
+	// Resharing round: send t_i to the previous party so each party
+	// ends up with (t_i, t_{i+1}).
+	payload := transport.EncodeMatrices(t1)
+	if err := ctx.Router.Send(rssPrev(ctx.Index), session, "reshare", payload); err != nil {
+		return rssShare{}, err
+	}
+	if ctx.Malicious {
+		// Falcon's malicious variant: redundant copy to the other
+		// neighbour plus a digest for the cross-check, and a MAC'd
+		// resharing (share scaled under the shared MAC key) to both
+		// neighbours — the SPDZ-style authentication that gives
+		// malicious Falcon its severalfold communication blow-up in
+		// Table II.
+		if err := ctx.Router.Send(rssNext(ctx.Index), session, "reshare2", payload); err != nil {
+			return rssShare{}, err
+		}
+		digest := sha256.Sum256(payload)
+		if err := ctx.Router.Send(rssNext(ctx.Index), session, "reshare-d", digest[:]); err != nil {
+			return rssShare{}, err
+		}
+		mac := transport.EncodeMatrices(t1.Scale(rssMACKey))
+		if err := ctx.Router.Send(rssPrev(ctx.Index), session, "reshare-mac", mac); err != nil {
+			return rssShare{}, err
+		}
+		if err := ctx.Router.Send(rssNext(ctx.Index), session, "reshare-mac2", mac); err != nil {
+			return rssShare{}, err
+		}
+	}
+	msg, err := ctx.Router.Expect(rssNext(ctx.Index), session, "reshare")
+	if err != nil {
+		return rssShare{}, err
+	}
+	ms, err := transport.DecodeMatrices(msg.Payload)
+	if err != nil || len(ms) != 1 {
+		return rssShare{}, fmt.Errorf("baselines: rss reshare reply malformed: %w", err)
+	}
+	next := ms[0]
+	if ctx.Malicious {
+		// Verify the redundant copy against the digest (detect-abort).
+		copyMsg, err := ctx.Router.Expect(rssPrev(ctx.Index), session, "reshare2")
+		if err != nil {
+			return rssShare{}, err
+		}
+		digMsg, err := ctx.Router.Expect(rssPrev(ctx.Index), session, "reshare-d")
+		if err != nil {
+			return rssShare{}, err
+		}
+		got := sha256.Sum256(copyMsg.Payload)
+		if string(got[:]) != string(digMsg.Payload) {
+			return rssShare{}, fmt.Errorf("baselines: falcon consistency check failed (abort)")
+		}
+		// Verify the MAC'd resharing from the neighbour that supplied
+		// our Next component.
+		macMsg, err := ctx.Router.Expect(rssNext(ctx.Index), session, "reshare-mac")
+		if err != nil {
+			return rssShare{}, err
+		}
+		if _, err := ctx.Router.Expect(rssPrev(ctx.Index), session, "reshare-mac2"); err != nil {
+			return rssShare{}, err
+		}
+		macs, err := transport.DecodeMatrices(macMsg.Payload)
+		if err != nil || len(macs) != 1 {
+			return rssShare{}, fmt.Errorf("baselines: falcon MAC malformed: %w", err)
+		}
+		if !macs[0].Equal(next.Scale(rssMACKey)) {
+			return rssShare{}, fmt.Errorf("baselines: falcon MAC check failed (abort)")
+		}
+	}
+	out := rssShare{Cur: t1, Next: next}
+	if !raw {
+		return rssTrunc(ctx, session+"/tr", out)
+	}
+	return out, nil
+}
+
+// rssTrunc rescales a replicated sharing by 2^F using the ABY3-style
+// semi-honest protocol: the shares are regrouped into the two-term
+// decomposition s₁ = x₁+x₂ (held jointly by P1), s₂ = x₃ (held by P2
+// and P3), truncated locally — which is sound for a *two*-share
+// decomposition — and re-randomized back into replicated form with one
+// message (P1 → P3). Plain per-share truncation is NOT sound for
+// three-share sharings: the ideal integer sum of three uniform shares
+// wraps 2^64 with probability ≈ 2/3, which would corrupt the result by
+// ±2^(64−F) almost every time.
+func rssTrunc(ctx *rssCtx, session string, s rssShare) (rssShare, error) {
+	shift := func(v int64) int64 { return v >> ctx.Params.FracBits }
+	switch ctx.Index {
+	case 1:
+		// P1 holds (x₁, x₂): u = (x₁+x₂) >> F.
+		u, err := s.Cur.Add(s.Next)
+		if err != nil {
+			return rssShare{}, err
+		}
+		u = u.Map(shift)
+		// r is the randomness shared with P2 via the pairwise key k₁.
+		r := tensor.MustNew[int64](u.Rows, u.Cols)
+		for i := range r.Data {
+			r.Data[i] = int64(ctx.zeroOwn.Uint64())
+		}
+		z1, err := u.Sub(r)
+		if err != nil {
+			return rssShare{}, err
+		}
+		if err := ctx.Router.Send(transport.Party3, session, "trunc", transport.EncodeMatrices(z1)); err != nil {
+			return rssShare{}, err
+		}
+		return rssShare{Cur: z1, Next: r}, nil
+	case 2:
+		// P2 holds (x₂, x₃): shares r (key k₁) and v = x₃ >> F.
+		r := tensor.MustNew[int64](s.Cur.Rows, s.Cur.Cols)
+		for i := range r.Data {
+			r.Data[i] = int64(ctx.zeroPrev.Uint64())
+		}
+		return rssShare{Cur: r, Next: s.Next.Map(shift)}, nil
+	case 3:
+		// P3 holds (x₃, x₁): computes v = x₃ >> F, receives z₁.
+		v := s.Cur.Map(shift)
+		msg, err := ctx.Router.Expect(transport.Party1, session, "trunc")
+		if err != nil {
+			return rssShare{}, err
+		}
+		ms, err := transport.DecodeMatrices(msg.Payload)
+		if err != nil || len(ms) != 1 {
+			return rssShare{}, fmt.Errorf("baselines: rss trunc message malformed: %w", err)
+		}
+		return rssShare{Cur: v, Next: ms[0]}, nil
+	default:
+		return rssShare{}, fmt.Errorf("baselines: rss party index %d out of range", ctx.Index)
+	}
+}
+
+// rssScaleTrunc multiplies by a fixed-point-encoded public constant and
+// rescales via rssTrunc.
+func rssScaleTrunc(ctx *rssCtx, session string, s rssShare, k int64) (rssShare, error) {
+	return rssTrunc(ctx, session, s.scale(k))
+}
+
+// rssOpen reconstructs a replicated sharing at every party: each party
+// sends its Next component (= x_{i+1}) to the previous party, giving
+// everyone the missing third share.
+func rssOpen(ctx *rssCtx, session string, s rssShare) (Mat, error) {
+	if err := ctx.Router.Send(rssPrev(ctx.Index), session, "open", transport.EncodeMatrices(s.Next)); err != nil {
+		return Mat{}, err
+	}
+	if ctx.Malicious {
+		// Redundant opening from the other neighbour's Cur component.
+		if err := ctx.Router.Send(rssNext(ctx.Index), session, "open2", transport.EncodeMatrices(s.Cur)); err != nil {
+			return Mat{}, err
+		}
+	}
+	msg, err := ctx.Router.Expect(rssNext(ctx.Index), session, "open")
+	if err != nil {
+		return Mat{}, err
+	}
+	ms, err := transport.DecodeMatrices(msg.Payload)
+	if err != nil || len(ms) != 1 {
+		return Mat{}, fmt.Errorf("baselines: rss open malformed: %w", err)
+	}
+	missing := ms[0]
+	if ctx.Malicious {
+		copyMsg, err := ctx.Router.Expect(rssPrev(ctx.Index), session, "open2")
+		if err != nil {
+			return Mat{}, err
+		}
+		cms, err := transport.DecodeMatrices(copyMsg.Payload)
+		if err != nil || len(cms) != 1 {
+			return Mat{}, fmt.Errorf("baselines: rss open copy malformed: %w", err)
+		}
+		if !cms[0].Equal(missing) {
+			return Mat{}, fmt.Errorf("baselines: falcon opening mismatch (abort)")
+		}
+	}
+	value := s.Cur.Clone()
+	if err := value.AddInPlace(s.Next); err != nil {
+		return Mat{}, err
+	}
+	if err := value.AddInPlace(missing); err != nil {
+		return Mat{}, err
+	}
+	return value, nil
+}

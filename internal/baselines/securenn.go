@@ -1,0 +1,333 @@
+package baselines
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/fixed"
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/party"
+	"github.com/trustddl/trustddl/internal/protocol"
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/tensor"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// SecureNN simulates the SecureNN framework: two computing parties
+// (P1, P2) hold 2-of-2 additive shares and run the honest-but-curious
+// protocols of §II, while a third assist party (P3) supplies Beaver
+// triples and comparison randomness over the metered transport —
+// SecureNN's 3-server architecture. Softmax is delegated to the model
+// owner like in TrustDDL so the workloads stay comparable.
+type SecureNN struct {
+	netw   *transport.ChanNetwork
+	params fixed.Params
+	src    *sharing.SeededSource
+
+	ctxs [2]*protocol.HbCCtx
+	nets [2]*hbcNetwork
+
+	assist  *plainServer
+	owner   *plainServer
+	ownerEP transport.Endpoint
+
+	dataR *party.Router
+
+	logitsMu sync.Mutex
+	logits   map[string]Mat
+	logitsCv *sync.Cond
+
+	opCount int
+}
+
+var _ Framework = (*SecureNN)(nil)
+
+// computeParties are SecureNN's share-holding parties.
+var secureNNParties = []int{transport.Party1, transport.Party2}
+
+// NewSecureNN wires a SecureNN deployment over an in-process network.
+func NewSecureNN(seed uint64) (*SecureNN, error) {
+	s := &SecureNN{
+		netw:   transport.NewChanNetwork(),
+		params: fixed.Default(),
+		src:    sharing.NewSeededSource(seed ^ 0x5ec04e88), // framework-local tweak
+		logits: make(map[string]Mat),
+	}
+	s.logitsCv = sync.NewCond(&s.logitsMu)
+	for i, p := range secureNNParties {
+		ep, err := s.netw.Endpoint(p)
+		if err != nil {
+			return nil, err
+		}
+		s.ctxs[i] = &protocol.HbCCtx{
+			Router:  party.NewRouter(ep, 10*time.Second),
+			Self:    p,
+			Parties: secureNNParties,
+			Params:  s.params,
+		}
+	}
+	assistEP, err := s.netw.Endpoint(transport.Party3)
+	if err != nil {
+		return nil, err
+	}
+	s.assist = newPlainServer(assistEP, sharing.NewSeededSource(seed+1), s.params, secureNNParties)
+	s.assist.start()
+
+	ownerEP, err := s.netw.Endpoint(transport.ModelOwner)
+	if err != nil {
+		return nil, err
+	}
+	s.ownerEP = ownerEP
+	s.owner = newPlainServer(ownerEP, sharing.NewSeededSource(seed+2), s.params, secureNNParties)
+	s.owner.fns["softmax"] = plainSoftmax(s.params)
+	s.owner.sinks["logits"] = func(session string, value Mat) {
+		s.logitsMu.Lock()
+		defer s.logitsMu.Unlock()
+		s.logits[session] = value
+		s.logitsCv.Broadcast()
+	}
+	s.owner.start()
+
+	dataEP, err := s.netw.Endpoint(transport.DataOwner)
+	if err != nil {
+		return nil, err
+	}
+	s.dataR = party.NewRouter(dataEP, 10*time.Second)
+	return s, nil
+}
+
+// Name implements Framework.
+func (s *SecureNN) Name() string { return "SecureNN" }
+
+// AdversaryModel implements Framework.
+func (s *SecureNN) AdversaryModel() string { return "Honest-but-Curious" }
+
+// Stats implements Framework.
+func (s *SecureNN) Stats() transport.Stats { return s.netw.Stats() }
+
+// ResetStats implements Framework.
+func (s *SecureNN) ResetStats() { s.netw.ResetStats() }
+
+// Close implements Framework.
+func (s *SecureNN) Close() error {
+	err1 := s.assist.stop()
+	err2 := s.owner.stop()
+	_ = s.netw.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (s *SecureNN) session(kind string) string {
+	s.opCount++
+	return fmt.Sprintf("snn/%s/%d", kind, s.opCount)
+}
+
+// shareToParties creates 2-of-2 shares of a float matrix and sends one
+// to each computing party from the given endpoint.
+func (s *SecureNN) shareToParties(from transport.Endpoint, session, step string, m nn.Mat64) error {
+	enc := tensor.Matrix[int64]{Rows: m.Rows, Cols: m.Cols, Data: make([]int64, m.Size())}
+	for i, v := range m.Data {
+		enc.Data[i] = s.params.FromFloat(v)
+	}
+	shares, err := sharing.CreateShares(s.src, enc, len(secureNNParties))
+	if err != nil {
+		return err
+	}
+	for i, p := range secureNNParties {
+		err := from.Send(transport.Message{To: p, Session: session, Step: step, Payload: transport.EncodeMatrices(shares[i])})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runParties executes fn on both computing parties concurrently.
+func (s *SecureNN) runParties(fn func(i int) error) error {
+	var wg sync.WaitGroup
+	var errs [2]error
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("baselines: securenn party %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// Setup implements Framework: the model owner distributes weight
+// shares and the parties build their network instances.
+func (s *SecureNN) Setup(w nn.PaperWeights) error {
+	session := s.session("init")
+	for _, wm := range []struct {
+		name string
+		m    nn.Mat64
+	}{{"conv", w.Conv}, {"fc1", w.FC1}, {"fc2", w.FC2}} {
+		if err := s.shareToParties(s.ownerEP, session, "w/"+wm.name, wm.m); err != nil {
+			return err
+		}
+	}
+	return s.runParties(func(i int) error {
+		ctx := s.ctxs[i]
+		recv := func(name string) (Mat, error) {
+			return protocol.RecvPlainShare(ctx, transport.ModelOwner, session, "w/"+name)
+		}
+		conv, err := recv("conv")
+		if err != nil {
+			return err
+		}
+		fc1, err := recv("fc1")
+		if err != nil {
+			return err
+		}
+		fc2, err := recv("fc2")
+		if err != nil {
+			return err
+		}
+		s.nets[i] = &hbcNetwork{
+			owner: transport.ModelOwner,
+			layers: []hbcLayer{
+				&hbcConv{shape: nn.PaperConvShape(), outChannels: nn.PaperOutChannels, w: conv},
+				&hbcReLU{},
+				&hbcDense{w: fc1, in: nn.PaperConvOut, out: nn.PaperHidden},
+				&hbcReLU{},
+				&hbcDense{w: fc2, in: nn.PaperHidden, out: nn.PaperClasses},
+			},
+		}
+		return nil
+	})
+}
+
+func (s *SecureNN) shareImage(session string, img mnist.Image) error {
+	x := tensor.MustNew[float64](1, mnist.NumPixels)
+	copy(x.Data, img.Pixels[:])
+	return s.shareToParties(s.dataREndpoint(), session, "x", x)
+}
+
+// dataREndpoint adapts the data router for raw sends.
+func (s *SecureNN) dataREndpoint() transport.Endpoint {
+	return routerSender{r: s.dataR}
+}
+
+// TrainStep implements Framework.
+func (s *SecureNN) TrainStep(img mnist.Image, lr float64) error {
+	if s.nets[0] == nil {
+		return fmt.Errorf("baselines: securenn Setup not called")
+	}
+	session := s.session("train")
+	if err := s.shareImage(session, img); err != nil {
+		return err
+	}
+	oneHot, err := nn.OneHot([]int{img.Label}, mnist.NumClasses)
+	if err != nil {
+		return err
+	}
+	if err := s.shareToParties(s.dataREndpoint(), session, "y", oneHot); err != nil {
+		return err
+	}
+	return s.runParties(func(i int) error {
+		ctx := s.ctxs[i]
+		x, err := protocol.RecvPlainShare(ctx, transport.DataOwner, session, "x")
+		if err != nil {
+			return err
+		}
+		y, err := protocol.RecvPlainShare(ctx, transport.DataOwner, session, "y")
+		if err != nil {
+			return err
+		}
+		ac := assistClient{ctx: ctx, assist: transport.Party3}
+		return s.nets[i].trainBatch(ctx, ac, session, x, y, lr)
+	})
+}
+
+// Infer implements Framework.
+func (s *SecureNN) Infer(img mnist.Image) (int, error) {
+	if s.nets[0] == nil {
+		return 0, fmt.Errorf("baselines: securenn Setup not called")
+	}
+	session := s.session("infer")
+	if err := s.shareImage(session, img); err != nil {
+		return 0, err
+	}
+	err := s.runParties(func(i int) error {
+		ctx := s.ctxs[i]
+		x, err := protocol.RecvPlainShare(ctx, transport.DataOwner, session, "x")
+		if err != nil {
+			return err
+		}
+		ac := assistClient{ctx: ctx, assist: transport.Party3}
+		logits, err := s.nets[i].logits(ctx, ac, session, x)
+		if err != nil {
+			return err
+		}
+		return sendPlainSink(ctx, transport.ModelOwner, "logits", session, logits)
+	})
+	if err != nil {
+		return 0, err
+	}
+	logits, err := s.awaitLogits(session, 10*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	return argmaxRowInt(logits), nil
+}
+
+func (s *SecureNN) awaitLogits(session string, timeout time.Duration) (Mat, error) {
+	deadline := time.Now().Add(timeout)
+	expired := false
+	timer := time.AfterFunc(timeout, func() {
+		s.logitsMu.Lock()
+		expired = true
+		s.logitsCv.Broadcast()
+		s.logitsMu.Unlock()
+	})
+	defer timer.Stop()
+	s.logitsMu.Lock()
+	defer s.logitsMu.Unlock()
+	for {
+		if m, ok := s.logits[session]; ok {
+			delete(s.logits, session)
+			return m, nil
+		}
+		if expired || time.Now().After(deadline) {
+			return Mat{}, fmt.Errorf("baselines: logits for %q never arrived", session)
+		}
+		s.logitsCv.Wait()
+	}
+}
+
+func argmaxRowInt(m Mat) int {
+	best, bestIdx := m.Data[0], 0
+	for c := 1; c < m.Cols; c++ {
+		if m.Data[c] > best {
+			best, bestIdx = m.Data[c], c
+		}
+	}
+	return bestIdx
+}
+
+// routerSender adapts a Router for endpoint-style sends.
+type routerSender struct{ r *party.Router }
+
+func (rs routerSender) Self() int { return rs.r.Self() }
+
+func (rs routerSender) Send(msg transport.Message) error {
+	return rs.r.Send(msg.To, msg.Session, msg.Step, msg.Payload)
+}
+
+func (rs routerSender) Recv(time.Duration) (transport.Message, error) {
+	return transport.Message{}, transport.ErrClosed
+}
+
+func (rs routerSender) Close() error { return nil }

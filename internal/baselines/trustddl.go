@@ -1,0 +1,88 @@
+package baselines
+
+import (
+	"fmt"
+
+	"github.com/trustddl/trustddl/internal/core"
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// TrustDDL adapts the real framework (internal/core) to the Framework
+// benchmarking interface, covering the two TrustDDL rows of Table II.
+type TrustDDL struct {
+	name    string
+	cluster *core.Cluster
+	run     *core.Run
+}
+
+var _ Framework = (*TrustDDL)(nil)
+
+// NewTrustDDL wires a TrustDDL deployment in the given mode.
+func NewTrustDDL(seed uint64, mode core.Mode) (*TrustDDL, error) {
+	cluster, err := core.New(core.Config{Mode: mode, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &TrustDDL{name: "TrustDDL", cluster: cluster}, nil
+}
+
+// NewSafeML wires the SafeML comparator. SafeML is the authors' prior
+// crash-fault framework; per the paper's own measurements its traffic
+// profile coincides with TrustDDL's honest-but-curious mode (Table II
+// reports identical inference communication), so it is reproduced as
+// the redundant pipeline without the commitment phase.
+func NewSafeML(seed uint64) (*TrustDDL, error) {
+	cluster, err := core.New(core.Config{Mode: core.HonestButCurious, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &TrustDDL{name: "SafeML", cluster: cluster}, nil
+}
+
+// Name implements Framework.
+func (t *TrustDDL) Name() string { return t.name }
+
+// AdversaryModel implements Framework.
+func (t *TrustDDL) AdversaryModel() string {
+	if t.name == "SafeML" {
+		return "Crash-Fault"
+	}
+	return t.cluster.Mode().String()
+}
+
+// Setup implements Framework.
+func (t *TrustDDL) Setup(w nn.PaperWeights) error {
+	run, err := t.cluster.NewRun(w)
+	if err != nil {
+		return err
+	}
+	t.run = run
+	return nil
+}
+
+// TrainStep implements Framework.
+func (t *TrustDDL) TrainStep(img mnist.Image, lr float64) error {
+	if t.run == nil {
+		return fmt.Errorf("baselines: %s Setup not called", t.name)
+	}
+	return t.run.TrainBatch([]mnist.Image{img}, lr)
+}
+
+// Infer implements Framework.
+func (t *TrustDDL) Infer(img mnist.Image) (int, error) {
+	if t.run == nil {
+		return 0, fmt.Errorf("baselines: %s Setup not called", t.name)
+	}
+	return t.run.Infer(img)
+}
+
+// Stats implements Framework.
+func (t *TrustDDL) Stats() transport.Stats { return t.cluster.Stats() }
+
+// ResetStats implements Framework.
+func (t *TrustDDL) ResetStats() { t.cluster.ResetStats() }
+
+// Close implements Framework.
+func (t *TrustDDL) Close() error { return t.cluster.Close() }

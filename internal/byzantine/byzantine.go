@@ -1,0 +1,164 @@
+// Package byzantine provides reusable adversary strategies for fault
+// injection: the share-corruption behaviours of the paper's security
+// analysis (Cases 1–3, Appendix) as protocol.Adversary implementations,
+// and message-level delay/drop behaviours as transport interceptors.
+//
+// These power the framework's robustness tests, the `examples/byzantine`
+// walkthrough, and the malicious-adversary rows of the Table II
+// benchmark.
+package byzantine
+
+import (
+	"strings"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/protocol"
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// honest provides pass-through defaults for embedding.
+type honest struct{}
+
+func (honest) CorruptPreCommit(_, _ string, bs []sharing.Bundle) []sharing.Bundle { return bs }
+
+func (honest) CorruptPostCommit(_ int, _, _ string, bs []sharing.Bundle) []sharing.Bundle {
+	return bs
+}
+
+// Honest is the no-op adversary (useful as an explicit default).
+type Honest struct{ honest }
+
+var _ protocol.Adversary = Honest{}
+
+// ConsistentLiar implements Case 3: it corrupts its shares *before*
+// the commitment phase, so hash checks pass and only the minimum-
+// distance decision rule can neutralize it.
+type ConsistentLiar struct {
+	honest
+
+	// Delta is added to every primary-share element (and subtracted
+	// from every second-share element) of the opened bundles.
+	Delta int64
+}
+
+var _ protocol.Adversary = ConsistentLiar{}
+
+// CorruptPreCommit implements protocol.Adversary.
+func (a ConsistentLiar) CorruptPreCommit(_, _ string, bs []sharing.Bundle) []sharing.Bundle {
+	d := a.Delta
+	if d == 0 {
+		d = 1 << 38
+	}
+	for i := range bs {
+		for j := range bs[i].Primary.Data {
+			bs[i].Primary.Data[j] += d
+		}
+		for j := range bs[i].Second.Data {
+			bs[i].Second.Data[j] -= d
+		}
+	}
+	return bs
+}
+
+// CommitViolator implements Case 1: it commits to its honest shares
+// but opens corrupted ones to everybody, so every honest party's hash
+// check convicts it.
+type CommitViolator struct {
+	honest
+
+	Delta int64
+}
+
+var _ protocol.Adversary = CommitViolator{}
+
+// CorruptPostCommit implements protocol.Adversary.
+func (a CommitViolator) CorruptPostCommit(_ int, _, _ string, bs []sharing.Bundle) []sharing.Bundle {
+	return flip(bs, a.Delta)
+}
+
+// Equivocator implements Case 2: it opens corrupted shares only to
+// Target, so the honest parties cannot reach consensus on the offender
+// — yet each recovers independently.
+type Equivocator struct {
+	honest
+
+	Target int
+	Delta  int64
+}
+
+var _ protocol.Adversary = Equivocator{}
+
+// CorruptPostCommit implements protocol.Adversary.
+func (a Equivocator) CorruptPostCommit(to int, _, _ string, bs []sharing.Bundle) []sharing.Bundle {
+	if to != a.Target {
+		return bs
+	}
+	return flip(bs, a.Delta)
+}
+
+func flip(bs []sharing.Bundle, delta int64) []sharing.Bundle {
+	if delta == 0 {
+		delta = 1 << 39
+	}
+	for i := range bs {
+		for j := range bs[i].Hat.Data {
+			bs[i].Hat.Data[j] += delta
+		}
+		for j := range bs[i].Primary.Data {
+			bs[i].Primary.Data[j] -= delta
+		}
+	}
+	return bs
+}
+
+// DropOpenings returns a transport interceptor that silently discards
+// every share-opening message, modelling a party that commits and then
+// goes silent. Honest parties detect it via their receive timers.
+func DropOpenings() transport.SendInterceptor {
+	return func(msg transport.Message) *transport.Message {
+		if strings.HasSuffix(msg.Step, "/open") {
+			return nil
+		}
+		return &msg
+	}
+}
+
+// DropAll returns an interceptor for a fully crashed party: nothing it
+// sends reaches anyone (the crash-fault model of SafeML).
+func DropAll() transport.SendInterceptor {
+	return func(transport.Message) *transport.Message {
+		return nil
+	}
+}
+
+// Delay returns an interceptor that delays every matching message by d,
+// modelling the "deliberately delays its messages" behaviour of
+// §III-B. Steps is a suffix filter; empty means all messages.
+func Delay(d time.Duration, stepSuffix string) transport.SendInterceptor {
+	return func(msg transport.Message) *transport.Message {
+		if stepSuffix == "" || strings.HasSuffix(msg.Step, stepSuffix) {
+			time.Sleep(d)
+		}
+		return &msg
+	}
+}
+
+// CorruptPayload returns an interceptor that flips bits in every
+// matching payload in transit — a lower-level corruption than the
+// protocol adversaries, caught by the commitment check because the
+// wire bytes no longer hash to the committed digest.
+func CorruptPayload(stepSuffix string) transport.SendInterceptor {
+	return func(msg transport.Message) *transport.Message {
+		if stepSuffix != "" && !strings.HasSuffix(msg.Step, stepSuffix) {
+			return &msg
+		}
+		if len(msg.Payload) > 16 {
+			corrupted := append([]byte(nil), msg.Payload...)
+			// Flip a byte inside the matrix body, past the headers.
+			corrupted[len(corrupted)/2] ^= 0x5a
+			msg.Payload = corrupted
+		}
+		return &msg
+	}
+}

@@ -1,0 +1,155 @@
+package byzantine
+
+import (
+	"testing"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/tensor"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+func testBundle() []sharing.Bundle {
+	b := sharing.Bundle{
+		Primary: tensor.MustNew[int64](2, 2),
+		Hat:     tensor.MustNew[int64](2, 2),
+		Second:  tensor.MustNew[int64](2, 2),
+	}
+	for i := range b.Primary.Data {
+		b.Primary.Data[i] = int64(i + 1)
+		b.Hat.Data[i] = int64(10 * (i + 1))
+		b.Second.Data[i] = int64(100 * (i + 1))
+	}
+	return []sharing.Bundle{b}
+}
+
+func TestHonestIsPassThrough(t *testing.T) {
+	var a Honest
+	in := testBundle()
+	if got := a.CorruptPreCommit("s", "x", in); !got[0].Primary.Equal(in[0].Primary) {
+		t.Fatal("Honest modified shares pre-commit")
+	}
+	if got := a.CorruptPostCommit(1, "s", "x", in); !got[0].Hat.Equal(in[0].Hat) {
+		t.Fatal("Honest modified shares post-commit")
+	}
+}
+
+func TestConsistentLiarCorruptsPreCommitOnly(t *testing.T) {
+	a := ConsistentLiar{Delta: 100}
+	in := testBundle()
+	orig := in[0].Clone()
+	out := a.CorruptPreCommit("s", "x", in)
+	if out[0].Primary.Data[0] != orig.Primary.Data[0]+100 {
+		t.Fatalf("primary not shifted: %d", out[0].Primary.Data[0])
+	}
+	if out[0].Second.Data[0] != orig.Second.Data[0]-100 {
+		t.Fatalf("second not shifted: %d", out[0].Second.Data[0])
+	}
+	// Post-commit must be honest: the lie is hash-consistent.
+	post := a.CorruptPostCommit(2, "s", "x", out)
+	if post[0].Primary.Data[0] != out[0].Primary.Data[0] {
+		t.Fatal("ConsistentLiar changed shares after committing")
+	}
+}
+
+func TestConsistentLiarDefaultDelta(t *testing.T) {
+	var a ConsistentLiar
+	in := testBundle()
+	orig := in[0].Primary.Data[0]
+	out := a.CorruptPreCommit("s", "x", in)
+	if out[0].Primary.Data[0] == orig {
+		t.Fatal("zero Delta must still corrupt (default applied)")
+	}
+}
+
+func TestCommitViolatorCorruptsPostCommitOnly(t *testing.T) {
+	a := CommitViolator{Delta: 7}
+	in := testBundle()
+	orig := in[0].Clone()
+	pre := a.CorruptPreCommit("s", "x", in)
+	if !pre[0].Primary.Equal(orig.Primary) {
+		t.Fatal("CommitViolator corrupted before committing")
+	}
+	post := a.CorruptPostCommit(1, "s", "x", pre)
+	if post[0].Hat.Data[0] != orig.Hat.Data[0]+7 {
+		t.Fatal("CommitViolator did not corrupt the opening")
+	}
+}
+
+func TestEquivocatorTargetsOneParty(t *testing.T) {
+	a := Equivocator{Target: 3, Delta: 9}
+	in := testBundle()
+	orig := in[0].Clone()
+	toP1 := a.CorruptPostCommit(1, "s", "x", testBundle())
+	if !toP1[0].Primary.Equal(orig.Primary) {
+		t.Fatal("Equivocator corrupted a non-target recipient")
+	}
+	toP3 := a.CorruptPostCommit(3, "s", "x", testBundle())
+	if toP3[0].Primary.Equal(orig.Primary) {
+		t.Fatal("Equivocator did not corrupt the target recipient")
+	}
+}
+
+func TestDropOpenings(t *testing.T) {
+	fn := DropOpenings()
+	if fn(transport.Message{Step: "ef/open"}) != nil {
+		t.Fatal("opening not dropped")
+	}
+	if fn(transport.Message{Step: "ef/commit"}) == nil {
+		t.Fatal("commitment wrongly dropped")
+	}
+}
+
+func TestDropAll(t *testing.T) {
+	fn := DropAll()
+	if fn(transport.Message{Step: "anything"}) != nil {
+		t.Fatal("DropAll let a message through")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	fn := Delay(30*time.Millisecond, "/open")
+	start := time.Now()
+	if fn(transport.Message{Step: "ef/open"}) == nil {
+		t.Fatal("Delay dropped the message")
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("message not delayed")
+	}
+	start = time.Now()
+	_ = fn(transport.Message{Step: "ef/commit"})
+	if time.Since(start) > 20*time.Millisecond {
+		t.Fatal("non-matching message delayed")
+	}
+}
+
+func TestCorruptPayload(t *testing.T) {
+	fn := CorruptPayload("/open")
+	payload := make([]byte, 64)
+	out := fn(transport.Message{Step: "ef/open", Payload: payload})
+	if out == nil {
+		t.Fatal("message dropped")
+	}
+	changed := false
+	for _, b := range out.Payload {
+		if b != 0 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("payload not corrupted")
+	}
+	// The original buffer must be left intact (no aliasing surprises).
+	for _, b := range payload {
+		if b != 0 {
+			t.Fatal("CorruptPayload mutated the caller's buffer")
+		}
+	}
+	// Non-matching steps untouched.
+	out2 := fn(transport.Message{Step: "ef/commit", Payload: payload})
+	for _, b := range out2.Payload {
+		if b != 0 {
+			t.Fatal("non-matching payload corrupted")
+		}
+	}
+}

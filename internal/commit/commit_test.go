@@ -1,0 +1,79 @@
+package commit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+func TestDeterministic(t *testing.T) {
+	m, _ := tensor.FromSlice(2, 2, []int64{1, 2, 3, 4})
+	if !Matrices(m).Equal(Matrices(m.Clone())) {
+		t.Fatal("identical matrices produced different digests")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	m, _ := tensor.FromSlice(2, 2, []int64{1, 2, 3, 4})
+	d := Matrices(m)
+	if !Verify(d, m) {
+		t.Fatal("Verify rejected a valid opening")
+	}
+	tampered := m.Clone()
+	tampered.Data[3] = 5
+	if Verify(d, tampered) {
+		t.Fatal("Verify accepted a tampered opening (Case 1 detection broken)")
+	}
+}
+
+func TestShapeIsPartOfCommitment(t *testing.T) {
+	a, _ := tensor.FromSlice(2, 2, []int64{1, 2, 3, 4})
+	b, _ := tensor.FromSlice(1, 4, []int64{1, 2, 3, 4})
+	if Matrices(a).Equal(Matrices(b)) {
+		t.Fatal("same data with different shapes must not collide")
+	}
+}
+
+func TestSequenceBoundaries(t *testing.T) {
+	// Committing to [m1, m2] must differ from [m1 ++ m2] style splits.
+	a, _ := tensor.FromSlice(1, 2, []int64{1, 2})
+	b, _ := tensor.FromSlice(1, 2, []int64{3, 4})
+	ab, _ := tensor.FromSlice(1, 4, []int64{1, 2, 3, 4})
+	if Matrices(a, b).Equal(Matrices(ab)) {
+		t.Fatal("matrix sequence boundaries must be encoded")
+	}
+	if Matrices(a, b).Equal(Matrices(b, a)) {
+		t.Fatal("commitment must be order-sensitive")
+	}
+}
+
+func TestEmptySequence(t *testing.T) {
+	var m tensor.Matrix[int64]
+	_ = m
+	d0 := Matrices()
+	a, _ := tensor.FromSlice(1, 1, []int64{0})
+	if d0.Equal(Matrices(a)) {
+		t.Fatal("empty sequence collides with a single zero matrix")
+	}
+}
+
+// Property: any single-element change breaks verification.
+func TestPropertyAnyFlipDetected(t *testing.T) {
+	f := func(vals [6]int64, idx uint8, delta int64) bool {
+		if delta == 0 {
+			return true
+		}
+		m, err := tensor.FromSlice(2, 3, vals[:])
+		if err != nil {
+			return false
+		}
+		d := Matrices(m)
+		tampered := m.Clone()
+		tampered.Data[int(idx)%6] += delta
+		return !Verify(d, tampered)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

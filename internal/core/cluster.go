@@ -1,0 +1,374 @@
+// Package core wires TrustDDL's actors into a runnable deployment: the
+// three computing parties of the proxy layer, the model owner (weight
+// distribution, Beaver-triple dealing, softmax delegation) and the data
+// owner (input/label sharing, prediction reveal) — the system
+// architecture of Fig. 1 — over a pluggable transport. It provides the
+// training and inference drivers used by the examples, the Fig. 2
+// accuracy experiment and the Table II cost benchmarks.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/fixed"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/party"
+	"github.com/trustddl/trustddl/internal/protocol"
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// Mode selects the adversary model the deployment defends against
+// (the two TrustDDL rows of Table II).
+type Mode int
+
+// Modes.
+const (
+	// HonestButCurious runs the redundant three-set protocols without
+	// the commitment phase.
+	HonestButCurious Mode = iota + 1
+	// Malicious adds the commitment phase, enabling detection and
+	// attribution of share/hash equivocation.
+	Malicious
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case HonestButCurious:
+		return "Honest-but-Curious"
+	case Malicious:
+		return "Malicious"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// TripleMode selects where Beaver triples come from.
+type TripleMode int
+
+// Triple modes.
+const (
+	// OnlineDealing requests triples from the model owner during the
+	// protocol run; their transfer is part of the metered traffic.
+	OnlineDealing TripleMode = iota + 1
+	// OfflinePrecomputed consumes triples from a local pre-dealt pool,
+	// separating offline from online cost.
+	OfflinePrecomputed
+)
+
+// Config parameterizes a deployment.
+type Config struct {
+	// Mode selects the adversary model (default Malicious).
+	Mode Mode
+	// Triples selects the dealing strategy (default OnlineDealing).
+	Triples TripleMode
+	// Params is the fixed-point encoding (default fixed.Default()).
+	Params fixed.Params
+	// Net is the transport (default: in-process channels).
+	Net transport.Network
+	// Timeout is the per-message receive timer (default
+	// party.DefaultTimeout).
+	Timeout time.Duration
+	// Seed, when nonzero, makes all dealer randomness deterministic
+	// (experiments); zero selects crypto/rand.
+	Seed uint64
+	// Adversaries makes the listed computing parties Byzantine at the
+	// protocol layer (share corruption).
+	Adversaries map[int]protocol.Adversary
+	// Interceptors rewrites the listed parties' outbound traffic
+	// (drops, delays, bit flips).
+	Interceptors map[int]transport.SendInterceptor
+	// Optimistic enables the reduced-redundancy opening (the paper's
+	// §V future work): redundant hat copies are exchanged only when the
+	// partial reconstructions disagree, trading one vote round for one
+	// third of the opening volume in the honest case.
+	Optimistic bool
+	// RemoteParties indicates the computing parties run in other
+	// processes (cmd/trustddl-party with ServeParty); the cluster then
+	// acts purely as the owners' driver and does not attach the party
+	// endpoints.
+	RemoteParties bool
+}
+
+// Cluster is a wired TrustDDL deployment.
+type Cluster struct {
+	cfg    Config
+	net    transport.Network
+	ownNet bool
+
+	ctxs    [sharing.NumParties]*protocol.Ctx
+	sources [sharing.NumParties]nn.TripleSource
+
+	ownerEP   transport.Endpoint
+	ownerSvc  *protocol.OwnerService
+	ownerDone chan error
+	modelDlr  *sharing.Dealer
+
+	dataRouter *party.Router
+	dataDealer *sharing.Dealer
+
+	mu             sync.Mutex
+	opCounter      int
+	revealed       map[string]protocol.Mat
+	dataSuspicions [sharing.NumParties + 1]int
+
+	revealCond *sync.Cond
+}
+
+// New builds and starts a deployment: endpoints are attached, party
+// contexts created and the model-owner service launched.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = Malicious
+	}
+	if cfg.Triples == 0 {
+		cfg.Triples = OnlineDealing
+	}
+	if cfg.Params.FracBits == 0 {
+		cfg.Params = fixed.Default()
+	}
+	c := &Cluster{cfg: cfg, revealed: make(map[string]protocol.Mat)}
+	c.revealCond = sync.NewCond(&c.mu)
+	if cfg.Net != nil {
+		c.net = cfg.Net
+	} else {
+		c.net = transport.NewChanNetwork()
+		c.ownNet = true
+	}
+
+	newSource := func(tag uint64) sharing.Source {
+		if cfg.Seed != 0 {
+			return sharing.NewSeededSource(cfg.Seed*1_000_003 + tag)
+		}
+		return &sharing.CryptoSource{}
+	}
+	c.modelDlr = sharing.NewDealer(newSource(1), cfg.Params)
+	c.dataDealer = sharing.NewDealer(newSource(2), cfg.Params)
+
+	var pre *sharing.PreDealer
+	if cfg.Triples == OfflinePrecomputed {
+		pre = sharing.NewPreDealer(sharing.NewDealer(newSource(3), cfg.Params))
+	}
+
+	for i := 1; i <= sharing.NumParties; i++ {
+		if cfg.RemoteParties {
+			break
+		}
+		ep, err := c.net.Endpoint(i)
+		if err != nil {
+			c.shutdown()
+			return nil, fmt.Errorf("core: attach party %d: %w", i, err)
+		}
+		if fn, ok := cfg.Interceptors[i]; ok {
+			ep = transport.Intercepted(ep, fn)
+		}
+		ctx, err := protocol.NewCtx(party.NewRouter(ep, cfg.Timeout), i, cfg.Params, cfg.Mode == Malicious)
+		if err != nil {
+			c.shutdown()
+			return nil, err
+		}
+		if adv, ok := cfg.Adversaries[i]; ok {
+			ctx.Adversary = adv
+		}
+		ctx.Optimistic = cfg.Optimistic
+		c.ctxs[i-1] = ctx
+		if pre != nil {
+			view, err := pre.View(i)
+			if err != nil {
+				c.shutdown()
+				return nil, err
+			}
+			c.sources[i-1] = view
+		} else {
+			c.sources[i-1] = nn.OwnerSource{Ctx: ctx}
+		}
+	}
+
+	ownerEP, err := c.net.Endpoint(transport.ModelOwner)
+	if err != nil {
+		c.shutdown()
+		return nil, fmt.Errorf("core: attach model owner: %w", err)
+	}
+	c.ownerEP = ownerEP
+	c.ownerSvc = protocol.NewOwnerService(ownerEP, c.modelDlr)
+	if cfg.Timeout > 0 {
+		c.ownerSvc.GatherTimeout = cfg.Timeout
+	}
+	c.ownerSvc.RegisterUnary(nn.SoftmaxName, nn.SoftmaxDelegate(cfg.Params))
+	c.ownerSvc.RegisterSink("weights", func(session string, value protocol.Mat, _ sharing.Decision) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.revealed[session] = value
+		c.revealCond.Broadcast()
+	})
+	c.ownerDone = make(chan error, 1)
+	go func() { c.ownerDone <- c.ownerSvc.Run() }()
+
+	dataEP, err := c.net.Endpoint(transport.DataOwner)
+	if err != nil {
+		c.shutdown()
+		return nil, fmt.Errorf("core: attach data owner: %w", err)
+	}
+	c.dataRouter = party.NewRouter(dataEP, cfg.Timeout)
+	return c, nil
+}
+
+// Close stops the owner service and, if the cluster owns its network,
+// tears the network down.
+func (c *Cluster) Close() error {
+	var svcErr error
+	if c.ownerDone != nil {
+		if err := protocol.Shutdown(c.dataRouterEndpoint(), transport.ModelOwner); err == nil {
+			select {
+			case svcErr = <-c.ownerDone:
+			case <-time.After(5 * time.Second):
+				svcErr = fmt.Errorf("core: owner service did not stop")
+			}
+		}
+	}
+	c.shutdown()
+	return svcErr
+}
+
+func (c *Cluster) dataRouterEndpoint() transport.Endpoint {
+	return dataSender{c}
+}
+
+// dataSender adapts the data router for one-off protocol sends.
+type dataSender struct{ c *Cluster }
+
+func (d dataSender) Self() int { return transport.DataOwner }
+
+func (d dataSender) Send(msg transport.Message) error {
+	return d.c.dataRouter.Send(msg.To, msg.Session, msg.Step, msg.Payload)
+}
+
+func (d dataSender) Recv(time.Duration) (transport.Message, error) {
+	return transport.Message{}, transport.ErrClosed
+}
+
+func (d dataSender) Close() error { return nil }
+
+func (c *Cluster) shutdown() {
+	if c.ownNet && c.net != nil {
+		_ = c.net.Close()
+	}
+}
+
+// Stats snapshots the transport traffic counters.
+func (c *Cluster) Stats() transport.Stats { return c.net.Stats() }
+
+// ResetStats zeroes the traffic counters (to separate offline setup
+// from the online phase in benchmarks).
+func (c *Cluster) ResetStats() { c.net.ResetStats() }
+
+// OwnerStats snapshots the model-owner service counters.
+func (c *Cluster) OwnerStats() protocol.OwnerStats { return c.ownerSvc.Stats() }
+
+// DataOwnerSuspicions reports, per party (index 0 unused), how often
+// the data owner's reconstruction decision rule saw that party's
+// shares deviating during prediction reveals.
+func (c *Cluster) DataOwnerSuspicions() [sharing.NumParties + 1]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dataSuspicions
+}
+
+// FlaggedBy reports which parties computing party p has convicted.
+// With remote parties the driver has no view of their convictions and
+// returns nil.
+func (c *Cluster) FlaggedBy(p int) []int {
+	if c.cfg.RemoteParties {
+		return nil
+	}
+	var out []int
+	for q := 1; q <= sharing.NumParties; q++ {
+		if c.ctxs[p-1].Flagged[q] {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Mode returns the configured adversary model.
+func (c *Cluster) Mode() Mode { return c.cfg.Mode }
+
+// Params returns the fixed-point encoding.
+func (c *Cluster) Params() fixed.Params { return c.cfg.Params }
+
+// nextSession mints a unique session prefix.
+func (c *Cluster) nextSession(kind string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opCounter++
+	return fmt.Sprintf("%s/%d", kind, c.opCounter)
+}
+
+// runParties executes fn concurrently on all three computing parties.
+// Errors from parties configured as Byzantine are tolerated (their
+// runtime may legitimately diverge); honest-party errors abort. With
+// remote parties the local closure does not run — the served parties
+// react to the distributed messages instead.
+func (c *Cluster) runParties(fn func(i int) error) error {
+	if c.cfg.RemoteParties {
+		return nil
+	}
+	var wg sync.WaitGroup
+	var errs [sharing.NumParties]error
+	for i := 0; i < sharing.NumParties; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		p := i + 1
+		if _, isAdv := c.cfg.Adversaries[p]; isAdv {
+			continue
+		}
+		if _, isInt := c.cfg.Interceptors[p]; isInt {
+			continue
+		}
+		return fmt.Errorf("core: party %d: %w", p, err)
+	}
+	return nil
+}
+
+// takeRevealed waits for a weight reveal recorded under session.
+func (c *Cluster) takeRevealed(session string, timeout time.Duration) (protocol.Mat, error) {
+	deadline := time.Now().Add(timeout)
+	done := make(chan struct{})
+	var timedOut bool
+	go func() {
+		select {
+		case <-done:
+		case <-time.After(time.Until(deadline)):
+			c.mu.Lock()
+			timedOut = true
+			c.revealCond.Broadcast()
+			c.mu.Unlock()
+		}
+	}()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if m, ok := c.revealed[session]; ok {
+			delete(c.revealed, session)
+			close(done)
+			return m, nil
+		}
+		if timedOut {
+			close(done)
+			return protocol.Mat{}, fmt.Errorf("core: reveal %q timed out", session)
+		}
+		c.revealCond.Wait()
+	}
+}

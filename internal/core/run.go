@@ -1,0 +1,460 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/protocol"
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/tensor"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// Run is one model lifetime on a cluster: a network described by an
+// nn.Arch, secret-shared across the parties, usable for training
+// steps, accuracy evaluation, inference and weight recovery.
+type Run struct {
+	c    *Cluster
+	arch nn.Arch
+	nets [sharing.NumParties]*nn.SecureNetwork
+}
+
+// NewRun distributes the paper's Table I network (§III-A: the model
+// owner creates and distributes parameter shares).
+func (c *Cluster) NewRun(w nn.PaperWeights) (*Run, error) {
+	return c.NewRunArch(nn.PaperArch(), []nn.Mat64{w.Conv, w.FC1, w.FC2})
+}
+
+// NewRunArch distributes an arbitrary architecture: the spec itself
+// (public) and one weight bundle per parameterized layer. The input
+// width must match the workload images and the output width the label
+// arity.
+func (c *Cluster) NewRunArch(arch nn.Arch, weights []nn.Mat64) (*Run, error) {
+	outWidth, err := arch.Validate(mnist.NumPixels)
+	if err != nil {
+		return nil, err
+	}
+	if outWidth != mnist.NumClasses {
+		return nil, fmt.Errorf("core: architecture outputs %d classes, want %d", outWidth, mnist.NumClasses)
+	}
+	if len(weights) != arch.NumWeightMatrices() {
+		return nil, fmt.Errorf("core: %d weight matrices for %d parameterized layers", len(weights), arch.NumWeightMatrices())
+	}
+	session := c.nextSession("init")
+	// The architecture is public: broadcast the spec itself.
+	archPayload := nn.EncodeArch(arch)
+	for p := 1; p <= sharing.NumParties; p++ {
+		err := c.ownerEP.Send(transport.Message{To: p, Session: session, Step: "arch", Payload: archPayload})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for wi, m := range weights {
+		bundles, err := c.modelDlr.ShareFloats(m)
+		if err != nil {
+			return nil, fmt.Errorf("core: share weights %d: %w", wi, err)
+		}
+		if err := protocol.DistributeBundles(c.ownerEP, session, fmt.Sprintf("w/%d", wi), bundles); err != nil {
+			return nil, fmt.Errorf("core: distribute weights %d: %w", wi, err)
+		}
+	}
+
+	run := &Run{c: c, arch: arch}
+	err = c.runParties(func(i int) error {
+		ctx := c.ctxs[i]
+		// Parties consume the broadcast spec (and could cross-check it
+		// against an out-of-band agreement).
+		msg, err := ctx.Router.Expect(transport.ModelOwner, session, "arch")
+		if err != nil {
+			return err
+		}
+		gotArch, err := nn.DecodeArch(msg.Payload)
+		if err != nil {
+			return err
+		}
+		bundles := make([]sharing.Bundle, gotArch.NumWeightMatrices())
+		for wi := range bundles {
+			b, err := protocol.RecvBundle(ctx, transport.ModelOwner, session, fmt.Sprintf("w/%d", wi))
+			if err != nil {
+				return err
+			}
+			bundles[wi] = b
+		}
+		net, err := gotArch.BuildSecure(bundles, transport.ModelOwner)
+		if err != nil {
+			return err
+		}
+		run.nets[i] = net
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+// Arch returns the architecture this run executes.
+func (r *Run) Arch() nn.Arch { return r.arch }
+
+// SetMomentum configures classical momentum SGD on every party's
+// network (0 disables it). Not supported with remote parties — their
+// optimizer state lives in their own processes.
+func (r *Run) SetMomentum(mu float64) {
+	for _, net := range r.nets {
+		if net != nil {
+			net.SetMomentum(mu)
+		}
+	}
+}
+
+// batchMatrices flattens images into the input matrix and one-hot
+// label matrix of a batch.
+func batchMatrices(images []mnist.Image) (nn.Mat64, nn.Mat64, error) {
+	if len(images) == 0 {
+		return nn.Mat64{}, nn.Mat64{}, fmt.Errorf("core: empty batch")
+	}
+	x := tensor.MustNew[float64](len(images), mnist.NumPixels)
+	labels := make([]int, len(images))
+	for i, img := range images {
+		copy(x.Data[i*mnist.NumPixels:(i+1)*mnist.NumPixels], img.Pixels[:])
+		labels[i] = img.Label
+	}
+	oneHot, err := nn.OneHot(labels, mnist.NumClasses)
+	if err != nil {
+		return nn.Mat64{}, nn.Mat64{}, err
+	}
+	return x, oneHot, nil
+}
+
+// distribute shares a float matrix at the data owner and sends each
+// party its bundle.
+func (c *Cluster) distribute(session, step string, m nn.Mat64) error {
+	bundles, err := c.dataDealer.ShareFloats(m)
+	if err != nil {
+		return fmt.Errorf("core: share %s: %w", step, err)
+	}
+	for p := 1; p <= sharing.NumParties; p++ {
+		if err := c.dataRouter.Send(p, session, step, transport.EncodeBundle(bundles[p-1])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TrainBatch performs one secure SGD step over the given images
+// (Fig. 2 training; Table II uses a single-image batch).
+func (r *Run) TrainBatch(images []mnist.Image, lr float64) error {
+	if lr <= 0 {
+		return fmt.Errorf("core: non-positive learning rate %v", lr)
+	}
+	x, oneHot, err := batchMatrices(images)
+	if err != nil {
+		return err
+	}
+	// The learning rate travels in the session label so remote served
+	// parties need no side channel.
+	session := sessionWithLR(r.c.nextSession("train"), lr)
+	if err := r.c.distribute(session, "x", x); err != nil {
+		return err
+	}
+	if err := r.c.distribute(session, "y", oneHot); err != nil {
+		return err
+	}
+	if r.c.cfg.RemoteParties {
+		// Served parties acknowledge step completion.
+		_, err := r.c.dataRouter.Gather([]int{1, 2, 3}, session, "ack")
+		return err
+	}
+	return r.c.runParties(func(i int) error {
+		ctx := r.c.ctxs[i]
+		bx, err := protocol.RecvBundle(ctx, transport.DataOwner, session, "x")
+		if err != nil {
+			return err
+		}
+		by, err := protocol.RecvBundle(ctx, transport.DataOwner, session, "y")
+		if err != nil {
+			return err
+		}
+		return r.nets[i].TrainBatch(ctx, r.c.sources[i], session, bx, by, lr)
+	})
+}
+
+// logitsFor runs the secure forward pass for a batch and reveals the
+// logits at the data owner via the six-way decision rule.
+func (r *Run) logitsFor(images []mnist.Image) (protocol.Mat, error) {
+	x, _, err := batchMatrices(images)
+	if err != nil {
+		return protocol.Mat{}, err
+	}
+	session := r.c.nextSession("infer")
+	if err := r.c.distribute(session, "x", x); err != nil {
+		return protocol.Mat{}, err
+	}
+	err = r.c.runParties(func(i int) error {
+		ctx := r.c.ctxs[i]
+		bx, err := protocol.RecvBundle(ctx, transport.DataOwner, session, "x")
+		if err != nil {
+			return err
+		}
+		logits, err := r.nets[i].Logits(ctx, r.c.sources[i], session, bx)
+		if err != nil {
+			return err
+		}
+		if ctx.Adversary != nil {
+			// A Byzantine party corrupts its reveal to the data owner
+			// too; the decision rule there recovers.
+			logits = ctx.Adversary.CorruptPreCommit(session, "logits", []sharing.Bundle{logits.Clone()})[0]
+		}
+		return ctx.Router.Send(transport.DataOwner, session, "logits", transport.EncodeBundle(logits))
+	})
+	if err != nil {
+		return protocol.Mat{}, err
+	}
+	return r.c.decideAtDataOwner(session, "logits")
+}
+
+// decideAtDataOwner gathers one bundle per party at the data owner and
+// applies the reconstruction decision rule, zero-filling and flagging
+// parties that fail to deliver.
+func (c *Cluster) decideAtDataOwner(session, step string) (protocol.Mat, error) {
+	parties := []int{1, 2, 3}
+	msgs, gerr := c.dataRouter.Gather(parties, session, step)
+	var per [sharing.NumParties]sharing.Bundle
+	var missing []int
+	var shape sharing.Bundle
+	for _, p := range parties {
+		msg, ok := msgs[p]
+		if !ok {
+			missing = append(missing, p)
+			continue
+		}
+		b, err := transport.DecodeBundle(msg.Payload)
+		if err != nil {
+			missing = append(missing, p)
+			continue
+		}
+		per[p-1] = b
+		shape = b
+	}
+	if len(missing) > 1 {
+		return protocol.Mat{}, fmt.Errorf("core: %d parties failed to deliver %q (%v)", len(missing), step, gerr)
+	}
+	for _, p := range missing {
+		per[p-1] = sharing.Bundle{
+			Primary: zeroMat(shape.Primary),
+			Hat:     zeroMat(shape.Hat),
+			Second:  zeroMat(shape.Second),
+		}
+	}
+	sets, err := sharing.CollectSets(per)
+	if err != nil {
+		return protocol.Mat{}, err
+	}
+	rec, err := sharing.ReconstructSix(sets)
+	if err != nil {
+		return protocol.Mat{}, err
+	}
+	for _, p := range missing {
+		rec.FlagParty(p)
+	}
+	value, _, err := rec.Decide()
+	if err == nil {
+		if suspect := rec.Suspect(value, dataOwnerSuspicionTolerance); suspect != 0 {
+			c.mu.Lock()
+			c.dataSuspicions[suspect]++
+			c.mu.Unlock()
+		}
+		for _, p := range missing {
+			c.mu.Lock()
+			c.dataSuspicions[p]++
+			c.mu.Unlock()
+		}
+	}
+	return value, err
+}
+
+// dataOwnerSuspicionTolerance is the max raw-ring deviation an honest
+// logits reconstruction may show (fixed-point truncation slack across
+// the network depth).
+const dataOwnerSuspicionTolerance = 64
+
+func zeroMat(m protocol.Mat) protocol.Mat {
+	return tensor.Matrix[int64]{Rows: m.Rows, Cols: m.Cols, Data: make([]int64, m.Size())}
+}
+
+// Infer classifies one image, returning the predicted label revealed
+// to the data owner (the paper's inference task).
+func (r *Run) Infer(img mnist.Image) (int, error) {
+	logits, err := r.logitsFor([]mnist.Image{img})
+	if err != nil {
+		return 0, err
+	}
+	return argmaxRow(logits, 0), nil
+}
+
+// Evaluate computes test accuracy over up to limit samples (0 = all),
+// batching forward passes for throughput.
+func (r *Run) Evaluate(ds mnist.Dataset, limit, batch int) (float64, error) {
+	n := ds.Len()
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("core: empty evaluation set")
+	}
+	if batch <= 0 {
+		batch = 32
+	}
+	correct := 0
+	for at := 0; at < n; at += batch {
+		end := at + batch
+		if end > n {
+			end = n
+		}
+		logits, err := r.logitsFor(ds.Images[at:end])
+		if err != nil {
+			return 0, err
+		}
+		for row := 0; row < logits.Rows; row++ {
+			if argmaxRow(logits, row) == ds.Images[at+row].Label {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n), nil
+}
+
+func argmaxRow(m protocol.Mat, row int) int {
+	best, bestIdx := m.At(row, 0), 0
+	for c := 1; c < m.Cols; c++ {
+		if v := m.At(row, c); v > best {
+			best, bestIdx = v, c
+		}
+	}
+	return bestIdx
+}
+
+// WeightMatrices reveals the current model parameters to the model
+// owner and returns them as plaintext matrices, one per parameterized
+// layer (the paper's training output).
+func (r *Run) WeightMatrices() ([]nn.Mat64, error) {
+	session := r.c.nextSession("reveal")
+	if r.c.cfg.RemoteParties {
+		for p := 1; p <= sharing.NumParties; p++ {
+			if err := r.c.dataRouter.Send(p, session, stepRevealWeights, nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+	err := r.c.runParties(func(i int) error {
+		ctx := r.c.ctxs[i]
+		bundles, err := r.arch.WeightBundles(r.nets[i])
+		if err != nil {
+			return err
+		}
+		for wi, b := range bundles {
+			if err := protocol.SendToSink(ctx, transport.ModelOwner, "weights", fmt.Sprintf("%s/w%d", session, wi), b); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	timeout := r.c.cfg.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	out := make([]nn.Mat64, r.arch.NumWeightMatrices())
+	for wi := range out {
+		m, err := r.c.takeRevealed(fmt.Sprintf("%s/w%d", session, wi), timeout)
+		if err != nil {
+			return nil, err
+		}
+		out[wi] = r.decodeFloats(m)
+	}
+	return out, nil
+}
+
+// Weights is the Table I convenience form of WeightMatrices.
+func (r *Run) Weights() (nn.PaperWeights, error) {
+	ms, err := r.WeightMatrices()
+	if err != nil {
+		return nn.PaperWeights{}, err
+	}
+	if len(ms) != 3 {
+		return nn.PaperWeights{}, fmt.Errorf("core: run has %d weight matrices, not the Table I network", len(ms))
+	}
+	return nn.PaperWeights{Conv: ms[0], FC1: ms[1], FC2: ms[2]}, nil
+}
+
+func (r *Run) decodeFloats(m protocol.Mat) nn.Mat64 {
+	out := tensor.Matrix[float64]{Rows: m.Rows, Cols: m.Cols, Data: make([]float64, m.Size())}
+	for i, v := range m.Data {
+		out.Data[i] = r.c.cfg.Params.ToFloat(v)
+	}
+	return out
+}
+
+// TrainConfig parameterizes the Fig. 2 experiment driver.
+type TrainConfig struct {
+	// Epochs is the number of passes over the training set (paper: 5).
+	Epochs int
+	// Batch is the SGD batch size.
+	Batch int
+	// LR is the learning rate.
+	LR float64
+	// Momentum enables classical momentum SGD (0 = plain SGD, the
+	// paper's configuration).
+	Momentum float64
+	// EvalLimit caps test samples per accuracy point (0 = all).
+	EvalLimit int
+	// OnEpoch, when non-nil, observes each epoch's accuracy.
+	OnEpoch func(epoch int, accuracy float64)
+}
+
+// EpochResult is one Fig. 2 data point.
+type EpochResult struct {
+	Epoch    int
+	Accuracy float64
+}
+
+// Train runs the full Fig. 2 secure-training experiment: epochs of
+// secure SGD with per-epoch test accuracy measured through the secure
+// inference path.
+func (c *Cluster) Train(w nn.PaperWeights, train, test mnist.Dataset, tc TrainConfig) ([]EpochResult, *Run, error) {
+	if tc.Epochs <= 0 || tc.Batch <= 0 || tc.LR <= 0 {
+		return nil, nil, fmt.Errorf("core: invalid train config %+v", tc)
+	}
+	run, err := c.NewRun(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tc.Momentum > 0 {
+		run.SetMomentum(tc.Momentum)
+	}
+	results := make([]EpochResult, 0, tc.Epochs)
+	for epoch := 1; epoch <= tc.Epochs; epoch++ {
+		for at := 0; at < train.Len(); at += tc.Batch {
+			end := at + tc.Batch
+			if end > train.Len() {
+				end = train.Len()
+			}
+			if err := run.TrainBatch(train.Images[at:end], tc.LR); err != nil {
+				return nil, nil, fmt.Errorf("core: epoch %d batch at %d: %w", epoch, at, err)
+			}
+		}
+		acc, err := run.Evaluate(test, tc.EvalLimit, 32)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: epoch %d evaluation: %w", epoch, err)
+		}
+		results = append(results, EpochResult{Epoch: epoch, Accuracy: acc})
+		if tc.OnEpoch != nil {
+			tc.OnEpoch(epoch, acc)
+		}
+	}
+	return results, run, nil
+}

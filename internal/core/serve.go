@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/party"
+	"github.com/trustddl/trustddl/internal/protocol"
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// Command steps understood by a served computing party, beyond the
+// protocol traffic itself.
+const (
+	// StepShutdown asks a served party to exit its command loop.
+	StepShutdown = "party-shutdown"
+	// stepRevealWeights asks a served party to sink its weight bundles
+	// to the model owner.
+	stepRevealWeights = "cmd/reveal-weights"
+)
+
+// ServeParty runs one computing party as a message-driven server: it
+// waits for weight distribution, then executes training batches and
+// inference requests as the owners drive them, until a shutdown
+// command or transport closure. This is the body of cmd/trustddl-party
+// and the counterpart of a Cluster configured with RemoteParties.
+//
+// The dispatch keys on the leading session segment minted by the
+// cluster driver: "init/…" (weight distribution), "train/…" (one SGD
+// step), "infer/…" (forward pass + logits reveal), "reveal/…" (weight
+// recovery).
+func ServeParty(ctx *protocol.Ctx, ts nn.TripleSource) error {
+	var (
+		net  *nn.SecureNetwork
+		arch nn.Arch
+	)
+	for {
+		msg, err := ctx.Router.Next(0)
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			var te *party.TimeoutError
+			if errors.As(err, &te) {
+				continue
+			}
+			return err
+		}
+		switch {
+		case msg.Step == StepShutdown:
+			return nil
+		case strings.HasPrefix(msg.Session, "init/") && msg.Step == "arch":
+			arch, net, err = recvNetwork(ctx, msg)
+			if err != nil {
+				return fmt.Errorf("core: serve party %d init: %w", ctx.Index, err)
+			}
+		case strings.HasPrefix(msg.Session, "train/") && msg.Step == "x":
+			if net == nil {
+				return fmt.Errorf("core: serve party %d: training before weight distribution", ctx.Index)
+			}
+			if err := serveTrain(ctx, ts, net, msg); err != nil {
+				return fmt.Errorf("core: serve party %d train %q: %w", ctx.Index, msg.Session, err)
+			}
+		case strings.HasPrefix(msg.Session, "infer/") && msg.Step == "x":
+			if net == nil {
+				return fmt.Errorf("core: serve party %d: inference before weight distribution", ctx.Index)
+			}
+			if err := serveInfer(ctx, ts, net, msg); err != nil {
+				return fmt.Errorf("core: serve party %d infer %q: %w", ctx.Index, msg.Session, err)
+			}
+		case msg.Step == stepRevealWeights:
+			if net == nil {
+				return fmt.Errorf("core: serve party %d: reveal before weight distribution", ctx.Index)
+			}
+			if err := sinkWeights(ctx, arch, net, msg.Session); err != nil {
+				return fmt.Errorf("core: serve party %d reveal: %w", ctx.Index, err)
+			}
+		default:
+			// Unknown traffic for this state machine: ignore. Protocol
+			// messages never reach here — they are consumed by keyed
+			// Expects inside the handlers.
+		}
+	}
+}
+
+// recvNetwork assembles the secure network from a weight-distribution
+// session whose architecture broadcast has already arrived.
+func recvNetwork(ctx *protocol.Ctx, first transport.Message) (nn.Arch, *nn.SecureNetwork, error) {
+	arch, err := nn.DecodeArch(first.Payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	bundles := make([]sharing.Bundle, arch.NumWeightMatrices())
+	for wi := range bundles {
+		b, err := protocol.RecvBundle(ctx, transport.ModelOwner, first.Session, fmt.Sprintf("w/%d", wi))
+		if err != nil {
+			return nil, nil, err
+		}
+		bundles[wi] = b
+	}
+	net, err := arch.BuildSecure(bundles, transport.ModelOwner)
+	if err != nil {
+		return nil, nil, err
+	}
+	return arch, net, nil
+}
+
+func serveTrain(ctx *protocol.Ctx, ts nn.TripleSource, net *nn.SecureNetwork, first transport.Message) error {
+	bx, err := transport.DecodeBundle(first.Payload)
+	if err != nil {
+		return err
+	}
+	by, err := protocol.RecvBundle(ctx, transport.DataOwner, first.Session, "y")
+	if err != nil {
+		return err
+	}
+	lr, err := decodeLR(first.Session)
+	if err != nil {
+		return err
+	}
+	if err := net.TrainBatch(ctx, ts, first.Session, bx, by, lr); err != nil {
+		return err
+	}
+	// Acknowledge completion so the driver can pace batches.
+	return ctx.Router.Send(transport.DataOwner, first.Session, "ack", nil)
+}
+
+func serveInfer(ctx *protocol.Ctx, ts nn.TripleSource, net *nn.SecureNetwork, first transport.Message) error {
+	bx, err := transport.DecodeBundle(first.Payload)
+	if err != nil {
+		return err
+	}
+	logits, err := net.Logits(ctx, ts, first.Session, bx)
+	if err != nil {
+		return err
+	}
+	return ctx.Router.Send(transport.DataOwner, first.Session, "logits", transport.EncodeBundle(logits))
+}
+
+func sinkWeights(ctx *protocol.Ctx, arch nn.Arch, net *nn.SecureNetwork, session string) error {
+	bundles, err := arch.WeightBundles(net)
+	if err != nil {
+		return err
+	}
+	for wi, b := range bundles {
+		if err := protocol.SendToSink(ctx, transport.ModelOwner, "weights", fmt.Sprintf("%s/w%d", session, wi), b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// The learning rate travels inside the training session label so a
+// served party needs no side channel: "train/<n>?lr=<millis>".
+func sessionWithLR(session string, lr float64) string {
+	return fmt.Sprintf("%s?lr=%d", session, int64(lr*1e6))
+}
+
+func decodeLR(session string) (float64, error) {
+	idx := strings.LastIndex(session, "?lr=")
+	if idx < 0 {
+		return 0, fmt.Errorf("core: session %q carries no learning rate", session)
+	}
+	var micro int64
+	if _, err := fmt.Sscanf(session[idx:], "?lr=%d", &micro); err != nil {
+		return 0, fmt.Errorf("core: session %q learning rate: %w", session, err)
+	}
+	if micro <= 0 {
+		return 0, fmt.Errorf("core: session %q has non-positive learning rate", session)
+	}
+	return float64(micro) / 1e6, nil
+}

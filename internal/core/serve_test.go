@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/fixed"
+
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/party"
+	"github.com/trustddl/trustddl/internal/protocol"
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// startServedParties launches the three computing parties as ServeParty
+// loops over the given network, as cmd/trustddl-party would in separate
+// processes.
+func startServedParties(t *testing.T, netw transport.Network, commitment bool) {
+	t.Helper()
+	done := make(chan error, sharing.NumParties)
+	stops := make([]*protocol.Ctx, 0, sharing.NumParties)
+	for i := 1; i <= sharing.NumParties; i++ {
+		ep, err := netw.Endpoint(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Generous timers: the race detector slows secure training well
+		// past the 2 s default, and honest runs never wait on them.
+		ctx, err := protocol.NewCtx(party.NewRouter(ep, 60*time.Second), i, fixed.Default(), commitment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stops = append(stops, ctx)
+		go func(ctx *protocol.Ctx) {
+			done <- ServeParty(ctx, nn.OwnerSource{Ctx: ctx})
+		}(ctx)
+	}
+	t.Cleanup(func() {
+		for _, ctx := range stops {
+			// Each served party stops on its shutdown command; any
+			// endpoint may deliver it.
+			_ = ctx.Router.Send(ctx.Index, "", StepShutdown, nil)
+		}
+		for range stops {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("served party: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Error("served party did not stop")
+				return
+			}
+		}
+	})
+}
+
+func TestServedPartiesTrainAndInfer(t *testing.T) {
+	netw := transport.NewChanNetwork()
+	startServedParties(t, netw, true)
+	c, err := New(Config{
+		Mode:          Malicious,
+		Seed:          71,
+		Net:           netw,
+		Timeout:       60 * time.Second,
+		RemoteParties: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := c.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		_ = netw.Close()
+	})
+
+	w := paperWeights(t)
+	run, err := c.NewRun(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := mnist.Synthetic(73, 3).Images
+
+	// Inference must match the plaintext model.
+	plain, err := nn.NewPlainPaperNet(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := run.Infer(imgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, err := batchMatrices(imgs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want[0] {
+		t.Fatalf("served inference %d, plaintext %d", got, want[0])
+	}
+
+	// A training step must complete (ack'd) and weights be recoverable.
+	if err := run.TrainBatch(imgs[:2], 0.05); err != nil {
+		t.Fatal(err)
+	}
+	trained, err := run.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trained.FC1.Equal(w.FC1) {
+		t.Fatal("training step over served parties did not change the weights")
+	}
+}
+
+func TestDecodeLR(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    float64
+		wantErr bool
+	}{
+		{give: sessionWithLR("train/7", 0.05), want: 0.05},
+		{give: sessionWithLR("train/8", 1), want: 1},
+		{give: "train/9", wantErr: true},
+		{give: "train/10?lr=x", wantErr: true},
+		{give: "train/11?lr=0", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := decodeLR(tt.give)
+		if gotErr := err != nil; gotErr != tt.wantErr {
+			t.Errorf("decodeLR(%q) err=%v wantErr=%v", tt.give, err, tt.wantErr)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("decodeLR(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package fixed implements the 64-bit fixed-point ring used by all
+// TrustDDL protocols.
+//
+// The paper (§IV-A) converts floating-point values to 64-bit fixed-point
+// integers with a configurable number of fractional ("precision") bits.
+// All secret-sharing arithmetic then happens in the two's-complement ring
+// Z_{2^64}, which Go's int64 wraparound arithmetic implements natively.
+//
+// A value x ∈ ℝ is represented as round(x · 2^F) for F fractional bits.
+// Addition and subtraction are exact ring operations. A product of two
+// encoded values carries scale 2^{2F} and must be truncated by 2^F once
+// per multiplication; Truncate performs the arithmetic shift used for
+// that rescaling.
+//
+// Truncation over additive shares: each party shifts its own share
+// locally. For a 2-additive sharing x = x1 + x2 the identity
+// (x1>>F)+(x2>>F) = (x>>F) − carry holds with carry ∈ {0,1}, so local
+// truncation introduces at most one unit in the last place per
+// multiplication (plus a 2^{64−F} wraparound event with negligible
+// probability for the magnitudes used in training). This is the standard
+// trick used by SecureNN/SafeML and inherited here.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultFracBits is the fractional precision used for model training.
+// The paper's accuracy experiment (§IV-B) uses 20 precision bits.
+const DefaultFracBits = 20
+
+// MaxFracBits bounds configurable precision so that single products of
+// in-range values cannot saturate the 63 magnitude bits of int64.
+const MaxFracBits = 30
+
+// Params captures a fixed-point encoding configuration.
+type Params struct {
+	// FracBits is the number of fractional bits F. Encoded values carry
+	// scale 2^F.
+	FracBits uint
+}
+
+// NewParams validates f and returns the encoding parameters.
+func NewParams(f uint) (Params, error) {
+	if f == 0 || f > MaxFracBits {
+		return Params{}, fmt.Errorf("fixed: fractional bits %d out of range [1,%d]", f, MaxFracBits)
+	}
+	return Params{FracBits: f}, nil
+}
+
+// Default returns the paper's training configuration (F = 20).
+func Default() Params {
+	return Params{FracBits: DefaultFracBits}
+}
+
+// Scale returns 2^F as a float64.
+func (p Params) Scale() float64 {
+	return float64(int64(1) << p.FracBits)
+}
+
+// FromFloat encodes x into the ring with round-to-nearest.
+func (p Params) FromFloat(x float64) int64 {
+	return int64(math.Round(x * p.Scale()))
+}
+
+// ToFloat decodes a ring element back to float64.
+func (p Params) ToFloat(v int64) float64 {
+	return float64(v) / p.Scale()
+}
+
+// Truncate rescales a 2F-scaled product back to scale F using an
+// arithmetic shift (rounds toward negative infinity).
+func (p Params) Truncate(v int64) int64 {
+	return v >> p.FracBits
+}
+
+// Mul multiplies two encoded values and rescales the product.
+func (p Params) Mul(a, b int64) int64 {
+	return p.Truncate(a * b)
+}
+
+// One returns the encoding of 1.0.
+func (p Params) One() int64 {
+	return int64(1) << p.FracBits
+}
+
+// Ulp returns the magnitude of one unit in the last place as a float64.
+func (p Params) Ulp() float64 {
+	return 1.0 / p.Scale()
+}

@@ -1,0 +1,138 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewParams(t *testing.T) {
+	tests := []struct {
+		give    uint
+		wantErr bool
+	}{
+		{give: 0, wantErr: true},
+		{give: 1},
+		{give: 20},
+		{give: 30},
+		{give: 31, wantErr: true},
+		{give: 64, wantErr: true},
+	}
+	for _, tt := range tests {
+		_, err := NewParams(tt.give)
+		if gotErr := err != nil; gotErr != tt.wantErr {
+			t.Errorf("NewParams(%d) err=%v, wantErr=%v", tt.give, err, tt.wantErr)
+		}
+	}
+}
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	if got := Default().FracBits; got != 20 {
+		t.Fatalf("default fractional bits = %d, want 20 (paper §IV-B)", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := Default()
+	tests := []float64{0, 1, -1, 0.5, -0.5, 3.14159, -2.71828, 1000.25, -999.75}
+	for _, x := range tests {
+		got := p.ToFloat(p.FromFloat(x))
+		if math.Abs(got-x) > p.Ulp() {
+			t.Errorf("round trip of %v: got %v (|err| > ulp %v)", x, got, p.Ulp())
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	p := Default()
+	tests := []struct {
+		a, b float64
+	}{
+		{2, 3},
+		{-2, 3},
+		{0.5, 0.5},
+		{-1.25, -4},
+		{100.5, 0.001},
+		{0, 42},
+	}
+	for _, tt := range tests {
+		got := p.ToFloat(p.Mul(p.FromFloat(tt.a), p.FromFloat(tt.b)))
+		want := tt.a * tt.b
+		// One truncation plus two encodings: a few ulp of slack.
+		if math.Abs(got-want) > 4*p.Ulp()*(1+math.Abs(tt.a)+math.Abs(tt.b)) {
+			t.Errorf("Mul(%v, %v) = %v, want ≈ %v", tt.a, tt.b, got, want)
+		}
+	}
+}
+
+func TestOne(t *testing.T) {
+	p := Default()
+	if got := p.ToFloat(p.One()); got != 1.0 {
+		t.Fatalf("One() decodes to %v, want 1", got)
+	}
+	// Multiplying by One must be (almost) the identity.
+	v := p.FromFloat(17.375)
+	if got := p.Mul(v, p.One()); got != v {
+		t.Fatalf("Mul(v, One()) = %d, want %d", got, v)
+	}
+}
+
+func TestTruncateNegative(t *testing.T) {
+	p := Params{FracBits: 4}
+	// Arithmetic shift rounds toward -inf: -1 >> 4 == -1, not 0.
+	if got := p.Truncate(-1); got != -1 {
+		t.Fatalf("Truncate(-1) = %d, want -1 (arithmetic shift)", got)
+	}
+	if got := p.Truncate(-16); got != -1 {
+		t.Fatalf("Truncate(-16) = %d, want -1", got)
+	}
+	if got := p.Truncate(31); got != 1 {
+		t.Fatalf("Truncate(31) = %d, want 1", got)
+	}
+}
+
+// Property: encoding is additively homomorphic for in-range values.
+func TestPropertyAdditiveHomomorphism(t *testing.T) {
+	p := Default()
+	f := func(a, b int32) bool {
+		x, y := float64(a)/256, float64(b)/256
+		sum := p.ToFloat(p.FromFloat(x) + p.FromFloat(y))
+		return math.Abs(sum-(x+y)) <= 2*p.Ulp()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: local truncation of a 2-additive sharing loses at most one
+// unit versus truncating the reconstructed value (the share-truncation
+// bound documented in the package comment).
+func TestPropertyShareTruncationError(t *testing.T) {
+	p := Default()
+	f := func(secret int64, share1 int32) bool {
+		// Bound the secret so products stay far from wraparound.
+		s := secret % (1 << 40)
+		x1 := int64(share1)
+		x2 := s - x1
+		joint := p.Truncate(s)
+		local := p.Truncate(x1) + p.Truncate(x2)
+		diff := joint - local
+		return diff >= -1 && diff <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mul is commutative in the ring.
+func TestPropertyMulCommutative(t *testing.T) {
+	p := Default()
+	f := func(a, b int16) bool {
+		x := p.FromFloat(float64(a) / 64)
+		y := p.FromFloat(float64(b) / 64)
+		return p.Mul(x, y) == p.Mul(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package mnist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadIDX hardens the dataset parser against corrupted or
+// adversarial files: it must reject or accept, never panic, and every
+// accepted dataset must satisfy the package invariants.
+func FuzzReadIDX(f *testing.F) {
+	img, lbl := &bytes.Buffer{}, &bytes.Buffer{}
+	_ = binary.Write(img, binary.BigEndian, [4]uint32{idxImagesMagic, 1, Rows, Cols})
+	img.Write(make([]byte, NumPixels))
+	_ = binary.Write(lbl, binary.BigEndian, [2]uint32{idxLabelsMagic, 1})
+	lbl.WriteByte(3)
+	f.Add(img.Bytes(), lbl.Bytes())
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, images, labels []byte) {
+		ds, err := ReadIDX(bytes.NewReader(images), bytes.NewReader(labels))
+		if err != nil {
+			return
+		}
+		for i := range ds.Images {
+			im := &ds.Images[i]
+			if im.Label < 0 || im.Label >= NumClasses {
+				t.Fatalf("accepted label %d out of range", im.Label)
+			}
+			for _, p := range im.Pixels {
+				if p < 0 || p > 1 {
+					t.Fatalf("accepted pixel %v outside [0,1]", p)
+				}
+			}
+		}
+	})
+}

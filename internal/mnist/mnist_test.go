@@ -1,0 +1,200 @@
+package mnist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(42, 10)
+	b := Synthetic(42, 10)
+	for i := range a.Images {
+		if a.Images[i].Label != b.Images[i].Label {
+			t.Fatal("labels differ across identical seeds")
+		}
+		if a.Images[i].Pixels != b.Images[i].Pixels {
+			t.Fatal("pixels differ across identical seeds")
+		}
+	}
+	c := Synthetic(43, 10)
+	same := true
+	for i := range a.Images {
+		if a.Images[i].Pixels != c.Images[i].Pixels {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestSyntheticProperties(t *testing.T) {
+	d := Synthetic(7, 500)
+	if d.Len() != 500 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	classCounts := make(map[int]int)
+	for i, img := range d.Images {
+		if img.Label < 0 || img.Label >= NumClasses {
+			t.Fatalf("image %d: label %d out of range", i, img.Label)
+		}
+		classCounts[img.Label]++
+		for j, p := range img.Pixels {
+			if p < 0 || p > 1 {
+				t.Fatalf("image %d pixel %d = %v outside [0,1]", i, j, p)
+			}
+		}
+	}
+	// All ten classes should appear in 500 samples.
+	if len(classCounts) != NumClasses {
+		t.Fatalf("only %d classes present", len(classCounts))
+	}
+}
+
+func TestSyntheticClassesAreDistinct(t *testing.T) {
+	// Mean intra-class distance must be far below inter-class distance,
+	// otherwise the Fig. 2 learning task is unlearnable.
+	d := Synthetic(3, 400)
+	byClass := make(map[int][][]float64)
+	for i := range d.Images {
+		img := &d.Images[i]
+		byClass[img.Label] = append(byClass[img.Label], img.Pixels[:])
+	}
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			diff := a[i] - b[i]
+			s += diff * diff
+		}
+		return s
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for c1, imgs1 := range byClass {
+		for i := 0; i+1 < len(imgs1) && i < 5; i++ {
+			intra += dist(imgs1[i], imgs1[i+1])
+			nIntra++
+		}
+		for c2, imgs2 := range byClass {
+			if c2 <= c1 || len(imgs1) == 0 || len(imgs2) == 0 {
+				continue
+			}
+			inter += dist(imgs1[0], imgs2[0])
+			nInter++
+		}
+	}
+	if nIntra == 0 || nInter == 0 {
+		t.Fatal("not enough samples")
+	}
+	if intra/float64(nIntra) >= inter/float64(nInter) {
+		t.Fatalf("intra-class distance %v not below inter-class %v",
+			intra/float64(nIntra), inter/float64(nInter))
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := Synthetic(1, 10)
+	a, b := d.Split(3)
+	if a.Len() != 3 || b.Len() != 7 {
+		t.Fatalf("split = %d/%d", a.Len(), b.Len())
+	}
+	a2, b2 := d.Split(100)
+	if a2.Len() != 10 || b2.Len() != 0 {
+		t.Fatalf("oversized split = %d/%d", a2.Len(), b2.Len())
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	a := Synthetic(1, 50)
+	b := Synthetic(1, 50)
+	a.Shuffle(9)
+	b.Shuffle(9)
+	for i := range a.Images {
+		if a.Images[i].Label != b.Images[i].Label {
+			t.Fatal("shuffles with equal seeds diverged")
+		}
+	}
+}
+
+// buildIDX constructs an in-memory IDX pair.
+func buildIDX(t *testing.T, count int, mutate func(img, lbl *bytes.Buffer)) (*bytes.Buffer, *bytes.Buffer) {
+	t.Helper()
+	img, lbl := &bytes.Buffer{}, &bytes.Buffer{}
+	if err := binary.Write(img, binary.BigEndian, [4]uint32{idxImagesMagic, uint32(count), Rows, Cols}); err != nil {
+		t.Fatal(err)
+	}
+	if err := binary.Write(lbl, binary.BigEndian, [2]uint32{idxLabelsMagic, uint32(count)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < count; i++ {
+		pix := make([]byte, NumPixels)
+		pix[i%NumPixels] = 255
+		img.Write(pix)
+		lbl.WriteByte(byte(i % NumClasses))
+	}
+	if mutate != nil {
+		mutate(img, lbl)
+	}
+	return img, lbl
+}
+
+func TestReadIDX(t *testing.T) {
+	img, lbl := buildIDX(t, 5, nil)
+	d, err := ReadIDX(img, lbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.Images[2].Label != 2 {
+		t.Fatalf("label = %d", d.Images[2].Label)
+	}
+	if d.Images[3].Pixels[3] != 1.0 {
+		t.Fatalf("pixel normalization wrong: %v", d.Images[3].Pixels[3])
+	}
+}
+
+func TestReadIDXErrors(t *testing.T) {
+	t.Run("bad image magic", func(t *testing.T) {
+		img, lbl := buildIDX(t, 1, nil)
+		img.Bytes()[3] = 0x99
+		if _, err := ReadIDX(img, lbl); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("count mismatch", func(t *testing.T) {
+		img, lbl := buildIDX(t, 2, nil)
+		lbl.Bytes()[7] = 9 // claim 9 labels
+		if _, err := ReadIDX(img, lbl); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("truncated images", func(t *testing.T) {
+		img, lbl := buildIDX(t, 2, nil)
+		truncated := bytes.NewBuffer(img.Bytes()[:img.Len()-100])
+		if _, err := ReadIDX(truncated, lbl); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("label out of range", func(t *testing.T) {
+		img, lbl := buildIDX(t, 1, func(_, lbl *bytes.Buffer) {
+			lbl.Bytes()[8] = 17
+		})
+		if _, err := ReadIDX(img, lbl); err == nil {
+			t.Fatal("want error")
+		}
+	})
+}
+
+func TestLoadFallsBackToSynthetic(t *testing.T) {
+	train, test, real := Load(t.TempDir(), 30, 10, 5)
+	if real {
+		t.Fatal("claimed real MNIST in an empty dir")
+	}
+	if train.Len() != 30 || test.Len() != 10 {
+		t.Fatalf("sizes %d/%d", train.Len(), test.Len())
+	}
+}

@@ -1,0 +1,177 @@
+package nn
+
+import (
+	"testing"
+
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+func smallArch() Arch {
+	return Arch{
+		DenseSpec(8, 6),
+		ReLUSpec(),
+		DenseSpec(6, 4),
+	}
+}
+
+func TestArchValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		arch    Arch
+		input   int
+		wantOut int
+		wantErr bool
+	}{
+		{name: "small mlp", arch: smallArch(), input: 8, wantOut: 4},
+		{name: "paper", arch: PaperArch(), input: 784, wantOut: 10},
+		{name: "width mismatch", arch: smallArch(), input: 9, wantErr: true},
+		{name: "empty", arch: Arch{}, input: 4, wantErr: true},
+		{name: "bad dense", arch: Arch{DenseSpec(0, 3)}, input: 0, wantErr: true},
+		{name: "bad conv", arch: Arch{ConvSpec(tensor.ConvShape{}, 2)}, input: 4, wantErr: true},
+		{
+			name: "conv chain",
+			arch: Arch{
+				ConvSpec(tensor.ConvShape{InChannels: 1, Height: 8, Width: 8, Kernel: 3, Stride: 2, Pad: 1}, 4),
+				ReLUSpec(),
+				// 4 channels × 4×4 spatial = 64.
+				DenseSpec(64, 10),
+			},
+			input:   64,
+			wantOut: 10,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.arch.Validate(tt.input)
+			if gotErr := err != nil; gotErr != tt.wantErr {
+				t.Fatalf("Validate err=%v wantErr=%v", err, tt.wantErr)
+			}
+			if !tt.wantErr && got != tt.wantOut {
+				t.Fatalf("output width %d, want %d", got, tt.wantOut)
+			}
+		})
+	}
+}
+
+func TestArchNumWeightMatrices(t *testing.T) {
+	if got := smallArch().NumWeightMatrices(); got != 2 {
+		t.Fatalf("small arch: %d weight matrices, want 2", got)
+	}
+	if got := PaperArch().NumWeightMatrices(); got != 3 {
+		t.Fatalf("paper arch: %d weight matrices, want 3", got)
+	}
+}
+
+func TestArchInitAndBuildPlain(t *testing.T) {
+	arch := smallArch()
+	weights, err := arch.InitWeights(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weights) != 2 {
+		t.Fatalf("%d weight matrices", len(weights))
+	}
+	if weights[0].Rows != 8 || weights[0].Cols != 6 || weights[1].Rows != 6 || weights[1].Cols != 4 {
+		t.Fatalf("weight shapes %dx%d / %dx%d", weights[0].Rows, weights[0].Cols, weights[1].Rows, weights[1].Cols)
+	}
+	net, err := arch.BuildPlain(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.MustNew[float64](2, 8)
+	for i := range x.Data {
+		x.Data[i] = float64(i%5) / 5
+	}
+	logits, err := net.Logits(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logits.Rows != 2 || logits.Cols != 4 {
+		t.Fatalf("logits %dx%d", logits.Rows, logits.Cols)
+	}
+}
+
+func TestArchBuildPlainRejectsMismatch(t *testing.T) {
+	arch := smallArch()
+	weights, err := arch.InitWeights(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arch.BuildPlain(weights[:1]); err == nil {
+		t.Fatal("missing weight matrix accepted")
+	}
+	weights[1] = tensor.MustNew[float64](3, 3)
+	if _, err := arch.BuildPlain(weights); err == nil {
+		t.Fatal("wrong weight shape accepted")
+	}
+}
+
+func TestPaperArchMatchesNewPlainPaperNet(t *testing.T) {
+	w, err := InitPaperWeights(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaArch, err := PaperArch().BuildPlain([]Mat64{w.Conv, w.FC1, w.FC2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NewPlainPaperNet(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.MustNew[float64](1, 784)
+	for i := range x.Data {
+		x.Data[i] = float64(i%7) / 7
+	}
+	a, err := viaArch.Logits(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := direct.Logits(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("arch-built paper net differs from the direct constructor")
+	}
+}
+
+func TestArchWireRoundTrip(t *testing.T) {
+	for _, arch := range []Arch{smallArch(), PaperArch()} {
+		got, err := DecodeArch(EncodeArch(arch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(arch) {
+			t.Fatalf("%d layers, want %d", len(got), len(arch))
+		}
+		for i := range arch {
+			if got[i] != arch[i] {
+				t.Fatalf("layer %d: %+v != %+v", i, got[i], arch[i])
+			}
+		}
+	}
+}
+
+func TestDecodeArchErrors(t *testing.T) {
+	if _, err := DecodeArch(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := DecodeArch([]byte{1, 0, 0, 0, 9}); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	huge := make([]byte, 4)
+	huge[0] = 0xff
+	huge[1] = 0xff
+	huge[2] = 0xff
+	if _, err := DecodeArch(huge); err == nil {
+		t.Fatal("implausible layer count accepted")
+	}
+}
+
+func TestArchBuildSecureShapeChecks(t *testing.T) {
+	arch := smallArch()
+	if _, err := arch.BuildSecure(nil, 4); err == nil {
+		t.Fatal("missing bundles accepted")
+	}
+}

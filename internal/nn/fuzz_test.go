@@ -1,0 +1,24 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeArch hardens the architecture codec: served parties decode
+// these bytes from the network.
+func FuzzDecodeArch(f *testing.F) {
+	f.Add(EncodeArch(PaperArch()))
+	f.Add([]byte{1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		arch, err := DecodeArch(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeArch(arch), data) {
+			t.Fatal("accepted architecture does not round-trip")
+		}
+		// Validate must not panic on whatever decoded.
+		_, _ = arch.Validate(784)
+	})
+}

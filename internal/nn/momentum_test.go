@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"math"
+	mathrand "math/rand/v2"
+	"testing"
+
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+func TestMomentumMatchesManualComputation(t *testing.T) {
+	d := &Dense{W: tensor.MustNew[float64](1, 1), Momentum: 0.9}
+	d.W.Data[0] = 1.0
+	const lr = 0.1
+
+	// Two steps with constant gradient g=1:
+	// v1 = 1,     W = 1 − 0.1·1      = 0.9
+	// v2 = 1.9,   W = 0.9 − 0.1·1.9  = 0.71
+	g := tensor.MustNew[float64](1, 1)
+	g.Data[0] = 1
+	d.dW = g.Clone()
+	d.Update(lr)
+	if math.Abs(d.W.Data[0]-0.9) > 1e-12 {
+		t.Fatalf("after step 1: W = %v, want 0.9", d.W.Data[0])
+	}
+	d.dW = g.Clone()
+	d.Update(lr)
+	if math.Abs(d.W.Data[0]-0.71) > 1e-12 {
+		t.Fatalf("after step 2: W = %v, want 0.71", d.W.Data[0])
+	}
+}
+
+func TestZeroMomentumIsPlainSGD(t *testing.T) {
+	a := &Dense{W: tensor.MustNew[float64](1, 2)}
+	b := &Dense{W: tensor.MustNew[float64](1, 2), Momentum: 0}
+	g := tensor.MustNew[float64](1, 2)
+	g.Data[0], g.Data[1] = 2, -3
+	for i := 0; i < 3; i++ {
+		a.dW, b.dW = g.Clone(), g.Clone()
+		a.Update(0.1)
+		b.Update(0.1)
+	}
+	if !a.W.Equal(b.W) {
+		t.Fatal("zero momentum diverged from plain SGD")
+	}
+}
+
+func TestNetworkSetMomentum(t *testing.T) {
+	rng := mathrand.New(mathrand.NewPCG(1, 2))
+	conv, err := NewConv(tensor.ConvShape{InChannels: 1, Height: 4, Width: 4, Kernel: 2, Stride: 2}, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &Network{Layers: []Layer{conv, NewReLU(), NewDense(8, 3, rng)}}
+	net.SetMomentum(0.8)
+	if conv.Momentum != 0.8 {
+		t.Fatal("conv momentum not set")
+	}
+	if net.Layers[2].(*Dense).Momentum != 0.8 {
+		t.Fatal("dense momentum not set")
+	}
+}
+
+func TestSecureMomentumTracksPlain(t *testing.T) {
+	// Three momentum-SGD steps: the secure engine must match the
+	// plaintext engine with the same μ.
+	env := newSecureEnv(t)
+	rng := mathrand.New(mathrand.NewPCG(5, 6))
+	w1, w2 := tinyWeights(rng)
+	const lr, mu = 0.1, 0.9
+
+	plain := &Network{Layers: []Layer{&Dense{W: w1.Clone()}, NewReLU(), &Dense{W: w2.Clone()}}}
+	plain.SetMomentum(mu)
+
+	bw1, bw2 := shareMat(t, env, w1), shareMat(t, env, w2)
+
+	type partyState struct {
+		net *SecureNetwork
+		d1  *SecureDense
+	}
+	states := make([]partyState, sharing.NumParties)
+	runSecure(t, env, func(i int) (struct{}, error) {
+		d1, err := NewSecureDense(bw1[i])
+		if err != nil {
+			return struct{}{}, err
+		}
+		d2, err := NewSecureDense(bw2[i])
+		if err != nil {
+			return struct{}{}, err
+		}
+		net := &SecureNetwork{Layers: []SecureLayer{d1, NewSecureReLU(), d2}, OwnerActor: 4}
+		net.SetMomentum(mu)
+		states[i] = partyState{net: net, d1: d1}
+		return struct{}{}, nil
+	})
+
+	x := tensor.MustNew[float64](2, 6)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64() * 0.5
+	}
+	labels := []int{1, 2}
+	oneHot, err := OneHot(labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 3; step++ {
+		if _, err := plain.TrainBatch(x, labels, lr); err != nil {
+			t.Fatal(err)
+		}
+		bx, by := shareMat(t, env, x), shareMat(t, env, oneHot)
+		session := "mom" + string(rune('0'+step))
+		runSecure(t, env, func(i int) (struct{}, error) {
+			return struct{}{}, states[i].net.TrainBatch(env.ctxs[i], env.views[i], session, bx[i], by[i], lr)
+		})
+	}
+
+	var w1s [sharing.NumParties]sharing.Bundle
+	for i := 0; i < sharing.NumParties; i++ {
+		w1s[i] = states[i].d1.W
+	}
+	got := open(t, w1s)
+	want := plain.Layers[0].(*Dense).W
+	if d := maxAbsDiffFloat(t, env.params, got, want); d > 2e-3 {
+		t.Fatalf("secure momentum weights deviate from plaintext by %v after 3 steps", d)
+	}
+}

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"fmt"
+	mathrand "math/rand/v2"
+
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+// Table I network constants: Conv(5×5, pad 2, stride 2, 5 channels) →
+// ReLU(980) → FC 980→100 → ReLU(100) → FC 100→10 → Softmax.
+const (
+	// PaperOutChannels is the convolution filter count.
+	PaperOutChannels = 5
+	// PaperHidden is the hidden fully-connected width.
+	PaperHidden = 100
+	// PaperClasses is the output arity.
+	PaperClasses = 10
+	// PaperConvOut is the flattened convolution output width
+	// (14·14·5 = 980).
+	PaperConvOut = 14 * 14 * PaperOutChannels
+)
+
+// PaperConvShape is the Table I convolution geometry. The table maps
+// 28×28 → 14×14×5 with a 5×5 kernel and padding 2, implying stride 2.
+func PaperConvShape() tensor.ConvShape {
+	return tensor.ConvShape{InChannels: 1, Height: 28, Width: 28, Kernel: 5, Stride: 2, Pad: 2}
+}
+
+// PaperWeights are the Table I parameter matrices, initialized per
+// §IV-A and shared by the plaintext and secure engines so Fig. 2
+// compares identical starting points.
+type PaperWeights struct {
+	// Conv has shape PatchSize(25)×5.
+	Conv Mat64
+	// FC1 has shape 980×100.
+	FC1 Mat64
+	// FC2 has shape 100×10.
+	FC2 Mat64
+}
+
+// InitPaperWeights draws the Table I weights deterministically from
+// seed: convolution ~ N(0, 1/(k₁·k₂)), fully connected ~ N(0, 1/n).
+func InitPaperWeights(seed uint64) (PaperWeights, error) {
+	rng := mathrand.New(mathrand.NewPCG(seed, seed^0x51ed2701))
+	conv, err := NewConv(PaperConvShape(), PaperOutChannels, rng)
+	if err != nil {
+		return PaperWeights{}, err
+	}
+	fc1 := NewDense(PaperConvOut, PaperHidden, rng)
+	fc2 := NewDense(PaperHidden, PaperClasses, rng)
+	return PaperWeights{Conv: conv.W, FC1: fc1.W, FC2: fc2.W}, nil
+}
+
+// NewPlainPaperNet builds the CML (plaintext) instance of the Table I
+// network around the given weights.
+func NewPlainPaperNet(w PaperWeights) (*Network, error) {
+	shape := PaperConvShape()
+	if w.Conv.Rows != shape.PatchSize() || w.Conv.Cols != PaperOutChannels {
+		return nil, fmt.Errorf("nn: conv weights %dx%d, want %dx%d", w.Conv.Rows, w.Conv.Cols, shape.PatchSize(), PaperOutChannels)
+	}
+	if w.FC1.Rows != PaperConvOut || w.FC1.Cols != PaperHidden {
+		return nil, fmt.Errorf("nn: fc1 weights %dx%d, want %dx%d", w.FC1.Rows, w.FC1.Cols, PaperConvOut, PaperHidden)
+	}
+	if w.FC2.Rows != PaperHidden || w.FC2.Cols != PaperClasses {
+		return nil, fmt.Errorf("nn: fc2 weights %dx%d, want %dx%d", w.FC2.Rows, w.FC2.Cols, PaperHidden, PaperClasses)
+	}
+	return &Network{Layers: []Layer{
+		&Conv{Shape: shape, OutChannels: PaperOutChannels, W: w.Conv.Clone()},
+		NewReLU(),
+		&Dense{W: w.FC1.Clone()},
+		NewReLU(),
+		&Dense{W: w.FC2.Clone()},
+	}}, nil
+}

@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+// Model persistence: the model owner saves a trained architecture plus
+// its plaintext weights to a single file and reloads it later (e.g. to
+// serve inference from a previously trained model). The format is
+// versioned, little-endian, and self-describing:
+//
+//	magic "TDDLM" | u16 version | u32 archLen | arch encoding |
+//	u32 numWeights | per matrix: u32 rows | u32 cols | rows·cols f64
+var modelMagic = [5]byte{'T', 'D', 'D', 'L', 'M'}
+
+const modelVersion = 1
+
+// SaveModel writes an architecture and its weight matrices to path.
+func SaveModel(path string, arch Arch, weights []Mat64) error {
+	if len(weights) != arch.NumWeightMatrices() {
+		return fmt.Errorf("nn: %d weight matrices for %d parameterized layers", len(weights), arch.NumWeightMatrices())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: save model: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	werr := writeModel(w, arch, weights)
+	if ferr := w.Flush(); werr == nil {
+		werr = ferr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("nn: save model: %w", werr)
+	}
+	return nil
+}
+
+func writeModel(w *bufio.Writer, arch Arch, weights []Mat64) error {
+	if _, err := w.Write(modelMagic[:]); err != nil {
+		return err
+	}
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], modelVersion)
+	if _, err := w.Write(u16[:]); err != nil {
+		return err
+	}
+	archBytes := EncodeArch(arch)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(archBytes)))
+	if _, err := w.Write(u32[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(archBytes); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(weights)))
+	if _, err := w.Write(u32[:]); err != nil {
+		return err
+	}
+	var u64 [8]byte
+	for _, m := range weights {
+		binary.LittleEndian.PutUint32(u32[:], uint32(m.Rows))
+		if _, err := w.Write(u32[:]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(u32[:], uint32(m.Cols))
+		if _, err := w.Write(u32[:]); err != nil {
+			return err
+		}
+		for _, v := range m.Data {
+			binary.LittleEndian.PutUint64(u64[:], math.Float64bits(v))
+			if _, err := w.Write(u64[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LoadModel reads a model saved by SaveModel and validates it against
+// its own architecture.
+func LoadModel(path string) (Arch, []Mat64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("nn: load model: %w", err)
+	}
+	arch, weights, err := parseModel(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("nn: load model %s: %w", path, err)
+	}
+	return arch, weights, nil
+}
+
+func parseModel(data []byte) (Arch, []Mat64, error) {
+	if len(data) < len(modelMagic)+2+4 {
+		return nil, nil, fmt.Errorf("truncated header")
+	}
+	if string(data[:5]) != string(modelMagic[:]) {
+		return nil, nil, fmt.Errorf("not a TrustDDL model file")
+	}
+	data = data[5:]
+	if v := binary.LittleEndian.Uint16(data); v != modelVersion {
+		return nil, nil, fmt.Errorf("unsupported model version %d", v)
+	}
+	data = data[2:]
+	archLen := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if archLen <= 0 || archLen > len(data) {
+		return nil, nil, fmt.Errorf("architecture block truncated")
+	}
+	arch, err := DecodeArch(data[:archLen])
+	if err != nil {
+		return nil, nil, err
+	}
+	data = data[archLen:]
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("weight count truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if n != arch.NumWeightMatrices() {
+		return nil, nil, fmt.Errorf("%d weight matrices for %d parameterized layers", n, arch.NumWeightMatrices())
+	}
+	weights := make([]Mat64, n)
+	for i := 0; i < n; i++ {
+		if len(data) < 8 {
+			return nil, nil, fmt.Errorf("matrix %d header truncated", i)
+		}
+		rows := int(binary.LittleEndian.Uint32(data))
+		cols := int(binary.LittleEndian.Uint32(data[4:]))
+		data = data[8:]
+		if rows <= 0 || cols <= 0 || rows > (1<<20) || cols > (1<<20) || len(data) < 8*rows*cols {
+			return nil, nil, fmt.Errorf("matrix %d body implausible (%dx%d)", i, rows, cols)
+		}
+		m := tensor.Matrix[float64]{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+		for j := range m.Data {
+			m.Data[j] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*j:]))
+		}
+		data = data[8*rows*cols:]
+		weights[i] = m
+	}
+	if len(data) != 0 {
+		return nil, nil, fmt.Errorf("%d trailing bytes", len(data))
+	}
+	// Cross-check the stored shapes against the spec.
+	if _, err := arch.BuildPlain(weights); err != nil {
+		return nil, nil, err
+	}
+	return arch, weights, nil
+}

@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadModelRoundTrip(t *testing.T) {
+	arch := PaperArch()
+	weights, err := arch.InitWeights(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.tddl")
+	if err := SaveModel(path, arch, weights); err != nil {
+		t.Fatal(err)
+	}
+	gotArch, gotWeights, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotArch) != len(arch) {
+		t.Fatalf("%d layers, want %d", len(gotArch), len(arch))
+	}
+	for i := range arch {
+		if gotArch[i] != arch[i] {
+			t.Fatalf("layer %d changed: %+v", i, gotArch[i])
+		}
+	}
+	for i := range weights {
+		if !gotWeights[i].Equal(weights[i]) {
+			t.Fatalf("weight matrix %d changed", i)
+		}
+	}
+}
+
+func TestSaveModelRejectsMismatch(t *testing.T) {
+	arch := PaperArch()
+	weights, _ := arch.InitWeights(22)
+	path := filepath.Join(t.TempDir(), "m.tddl")
+	if err := SaveModel(path, arch, weights[:1]); err == nil {
+		t.Fatal("missing weights accepted")
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := LoadModel(filepath.Join(dir, "absent")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadModel(bad); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+	// Truncated real model.
+	arch := Arch{DenseSpec(4, 2)}
+	weights, _ := arch.InitWeights(23)
+	good := filepath.Join(dir, "good")
+	if err := SaveModel(good, arch, weights); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc")
+	if err := os.WriteFile(trunc, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadModel(trunc); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func FuzzParseModel(f *testing.F) {
+	arch := Arch{DenseSpec(3, 2), ReLUSpec()}
+	weights, _ := arch.InitWeights(24)
+	path := filepath.Join(f.TempDir(), "seed")
+	if err := SaveModel(path, arch, weights); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte("TDDLM"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; accepted models must be buildable.
+		arch, weights, err := parseModel(data)
+		if err != nil {
+			return
+		}
+		if _, err := arch.BuildPlain(weights); err != nil {
+			t.Fatalf("accepted model does not build: %v", err)
+		}
+	})
+}

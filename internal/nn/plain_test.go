@@ -1,0 +1,362 @@
+package nn
+
+import (
+	"math"
+	mathrand "math/rand/v2"
+	"testing"
+
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+func testRNG() *mathrand.Rand {
+	return mathrand.New(mathrand.NewPCG(7, 11))
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	m, _ := tensor.FromSlice(2, 3, []float64{1, 2, 3, 1000, 1000, 1000})
+	p := SoftmaxRows(m)
+	for r := 0; r < 2; r++ {
+		var sum float64
+		for c := 0; c < 3; c++ {
+			v := p.At(r, c)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("probability (%d,%d) = %v", r, c, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", r, sum)
+		}
+	}
+	if !(p.At(0, 2) > p.At(0, 1) && p.At(0, 1) > p.At(0, 0)) {
+		t.Fatal("softmax not monotone in logits")
+	}
+	// Row 1 exercises the stability shift: equal huge logits → 1/3.
+	if math.Abs(p.At(1, 0)-1.0/3) > 1e-9 {
+		t.Fatalf("equal-logit softmax = %v, want 1/3", p.At(1, 0))
+	}
+}
+
+func TestCrossEntropy(t *testing.T) {
+	p, _ := tensor.FromSlice(1, 2, []float64{1, 0})
+	if got := CrossEntropy(p, []int{0}); got > 1e-9 {
+		t.Fatalf("perfect prediction loss = %v", got)
+	}
+	if got := CrossEntropy(p, []int{1}); got < 10 {
+		t.Fatalf("confidently wrong prediction loss = %v, want large", got)
+	}
+}
+
+func TestCrossEntropyGrad(t *testing.T) {
+	probs, _ := tensor.FromSlice(1, 3, []float64{0.2, 0.5, 0.3})
+	grad, err := CrossEntropyGrad(probs, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.2, -0.5, 0.3}
+	for i, w := range want {
+		if math.Abs(grad.Data[i]-w) > 1e-12 {
+			t.Fatalf("grad[%d] = %v, want %v", i, grad.Data[i], w)
+		}
+	}
+	if _, err := CrossEntropyGrad(probs, []int{5}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	m, err := OneHot([]int{2, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 2) != 1 || m.At(1, 0) != 1 || m.Sum() != 2 {
+		t.Fatalf("one-hot wrong: %v", m.Data)
+	}
+	if _, err := OneHot([]int{3}, 3); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestArgmaxRows(t *testing.T) {
+	m, _ := tensor.FromSlice(2, 3, []float64{1, 5, 2, -1, -9, -2})
+	got := ArgmaxRows(m)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("argmax = %v", got)
+	}
+}
+
+func TestDenseForwardBackwardShapes(t *testing.T) {
+	d := NewDense(4, 3, testRNG())
+	x, _ := tensor.FromSlice(2, 4, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	y, err := d.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Rows != 2 || y.Cols != 3 {
+		t.Fatalf("forward shape %dx%d", y.Rows, y.Cols)
+	}
+	dx, err := d.Backward(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dx.Rows != 2 || dx.Cols != 4 {
+		t.Fatalf("backward shape %dx%d", dx.Rows, dx.Cols)
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := NewReLU()
+	x, _ := tensor.FromSlice(1, 4, []float64{-1, 0, 2, -3})
+	y, err := r.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 2, 0}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("relu[%d] = %v, want %v", i, y.Data[i], w)
+		}
+	}
+	dy, _ := tensor.FromSlice(1, 4, []float64{5, 5, 5, 5})
+	dx, err := r.Backward(dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDx := []float64{0, 0, 5, 0}
+	for i, w := range wantDx {
+		if dx.Data[i] != w {
+			t.Fatalf("relu backward[%d] = %v, want %v", i, dx.Data[i], w)
+		}
+	}
+	if _, err := NewReLU().Backward(dy); err == nil {
+		t.Fatal("backward before forward accepted")
+	}
+}
+
+// numericalGrad estimates dLoss/dW[i] by central differences.
+func numericalGrad(t *testing.T, net *Network, w *Mat64, idx int, x Mat64, labels []int) float64 {
+	t.Helper()
+	const eps = 1e-5
+	orig := w.Data[idx]
+	w.Data[idx] = orig + eps
+	logits, err := net.Logits(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossPlus := CrossEntropy(SoftmaxRows(logits), labels)
+	w.Data[idx] = orig - eps
+	logits, err = net.Logits(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossMinus := CrossEntropy(SoftmaxRows(logits), labels)
+	w.Data[idx] = orig
+	return (lossPlus - lossMinus) / (2 * eps)
+}
+
+func TestGradientCheckDense(t *testing.T) {
+	rng := testRNG()
+	net := &Network{Layers: []Layer{NewDense(5, 4, rng), NewReLU(), NewDense(4, 3, rng)}}
+	x, _ := tensor.FromSlice(2, 5, []float64{0.5, -1, 2, 0.3, -0.7, 1.5, 0.2, -0.4, 0.9, -1.1})
+	labels := []int{2, 0}
+
+	// Analytic gradients.
+	logits, err := net.Logits(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := SoftmaxRows(logits)
+	grad, err := CrossEntropyGrad(probs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(net.Layers) - 1; i >= 0; i-- {
+		grad, err = net.Layers[i].Backward(grad)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for li, layer := range net.Layers {
+		d, ok := layer.(*Dense)
+		if !ok {
+			continue
+		}
+		for _, idx := range []int{0, 3, len(d.W.Data) - 1} {
+			want := numericalGrad(t, net, &d.W, idx, x, labels)
+			got := d.dW.Data[idx]
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("layer %d dW[%d] = %v, numerical %v", li, idx, got, want)
+			}
+		}
+	}
+}
+
+func TestGradientCheckConv(t *testing.T) {
+	rng := testRNG()
+	shape := tensor.ConvShape{InChannels: 1, Height: 6, Width: 6, Kernel: 3, Stride: 2, Pad: 1}
+	conv, err := NewConv(shape, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &Network{Layers: []Layer{conv, NewReLU(), NewDense(conv.OutSize(), 3, rng)}}
+	x := tensor.MustNew[float64](2, 36)
+	for i := range x.Data {
+		x.Data[i] = math.Sin(float64(i)) * 0.8
+	}
+	labels := []int{1, 2}
+
+	logits, err := net.Logits(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad, err := CrossEntropyGrad(SoftmaxRows(logits), labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(net.Layers) - 1; i >= 0; i-- {
+		grad, err = net.Layers[i].Backward(grad)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, idx := range []int{0, 7, len(conv.W.Data) - 1} {
+		want := numericalGrad(t, net, &conv.W, idx, x, labels)
+		got := conv.dW.Data[idx]
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("conv dW[%d] = %v, numerical %v", idx, got, want)
+		}
+	}
+}
+
+func TestConvRejectsBadInputs(t *testing.T) {
+	conv, err := NewConv(tensor.ConvShape{InChannels: 1, Height: 4, Width: 4, Kernel: 2, Stride: 2}, 2, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conv.Forward(tensor.MustNew[float64](1, 7)); err == nil {
+		t.Fatal("wrong input width accepted")
+	}
+	if _, err := conv.Backward(tensor.MustNew[float64](1, 3)); err == nil {
+		t.Fatal("backward before forward accepted")
+	}
+	if _, err := NewConv(tensor.ConvShape{InChannels: 1, Height: 4, Width: 4, Kernel: 2, Stride: 2}, 0, testRNG()); err == nil {
+		t.Fatal("zero output channels accepted")
+	}
+}
+
+func TestTrainingLearnsSyntheticTask(t *testing.T) {
+	// A small dense network must fit a linearly separable slice of the
+	// synthetic digits quickly — the learnability precondition of the
+	// Fig. 2 reproduction.
+	rng := testRNG()
+	net := &Network{Layers: []Layer{
+		NewDense(mnist.NumPixels, 32, rng),
+		NewReLU(),
+		NewDense(32, mnist.NumClasses, rng),
+	}}
+	train, test, _ := mnist.Load(t.TempDir(), 300, 100, 9)
+	const batch = 10
+	for epoch := 0; epoch < 4; epoch++ {
+		for i := 0; i+batch <= train.Len(); i += batch {
+			x := tensor.MustNew[float64](batch, mnist.NumPixels)
+			labels := make([]int, batch)
+			for j := 0; j < batch; j++ {
+				copy(x.Data[j*mnist.NumPixels:(j+1)*mnist.NumPixels], train.Images[i+j].Pixels[:])
+				labels[j] = train.Images[i+j].Label
+			}
+			if _, err := net.TrainBatch(x, labels, 0.1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	correct := 0
+	for i := range test.Images {
+		x := tensor.MustNew[float64](1, mnist.NumPixels)
+		copy(x.Data, test.Images[i].Pixels[:])
+		pred, err := net.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred[0] == test.Images[i].Label {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(test.Len())
+	if acc < 0.85 {
+		t.Fatalf("test accuracy %.2f after 4 epochs; task should be learnable", acc)
+	}
+}
+
+func TestPaperNetShapes(t *testing.T) {
+	w, err := InitPaperWeights(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Conv.Rows != 25 || w.Conv.Cols != 5 {
+		t.Fatalf("conv weights %dx%d", w.Conv.Rows, w.Conv.Cols)
+	}
+	if w.FC1.Rows != 980 || w.FC1.Cols != 100 {
+		t.Fatalf("fc1 weights %dx%d", w.FC1.Rows, w.FC1.Cols)
+	}
+	if w.FC2.Rows != 100 || w.FC2.Cols != 10 {
+		t.Fatalf("fc2 weights %dx%d", w.FC2.Rows, w.FC2.Cols)
+	}
+	net, err := NewPlainPaperNet(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.MustNew[float64](1, mnist.NumPixels)
+	logits, err := net.Logits(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logits.Rows != 1 || logits.Cols != 10 {
+		t.Fatalf("paper net logits %dx%d, want 1x10 (Table I)", logits.Rows, logits.Cols)
+	}
+}
+
+func TestPaperNetInitDistribution(t *testing.T) {
+	w, err := InitPaperWeights(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FC1 std should be near sqrt(1/980) ≈ 0.032 (§IV-A).
+	var sum, sumSq float64
+	for _, v := range w.FC1.Data {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(w.FC1.Data))
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	want := math.Sqrt(1.0 / 980)
+	if math.Abs(mean) > 0.005 {
+		t.Fatalf("fc1 mean %v, want ~0", mean)
+	}
+	if math.Abs(std-want) > want/4 {
+		t.Fatalf("fc1 std %v, want ~%v", std, want)
+	}
+}
+
+func TestPaperNetWeightValidation(t *testing.T) {
+	w, _ := InitPaperWeights(3)
+	w.FC1 = tensor.MustNew[float64](3, 3)
+	if _, err := NewPlainPaperNet(w); err == nil {
+		t.Fatal("bad fc1 shape accepted")
+	}
+}
+
+func TestInitDeterministic(t *testing.T) {
+	a, _ := InitPaperWeights(5)
+	b, _ := InitPaperWeights(5)
+	if !a.Conv.Equal(b.Conv) || !a.FC1.Equal(b.FC1) || !a.FC2.Equal(b.FC2) {
+		t.Fatal("same seed produced different weights")
+	}
+	c, _ := InitPaperWeights(6)
+	if a.Conv.Equal(c.Conv) {
+		t.Fatal("different seeds produced identical conv weights")
+	}
+}

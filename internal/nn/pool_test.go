@@ -1,0 +1,371 @@
+package nn
+
+import (
+	"math"
+	mathrand "math/rand/v2"
+	"testing"
+
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+func TestPoolShapeValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    PoolShape
+		wantErr bool
+	}{
+		{name: "ok", give: PoolShape{Channels: 3, Height: 4, Width: 6, Window: 2}},
+		{name: "window 1", give: PoolShape{Channels: 1, Height: 4, Width: 4, Window: 1}, wantErr: true},
+		{name: "does not tile", give: PoolShape{Channels: 1, Height: 5, Width: 4, Window: 2}, wantErr: true},
+		{name: "no channels", give: PoolShape{Height: 4, Width: 4, Window: 2}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if gotErr := err != nil; gotErr != tt.wantErr {
+				t.Fatalf("err=%v wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// naiveMaxPool is the reference implementation over the position-major
+// channel-minor layout.
+func naiveMaxPool(shape PoolShape, x Mat64) Mat64 {
+	outH, outW := shape.Height/shape.Window, shape.Width/shape.Window
+	out := tensor.MustNew[float64](x.Rows, shape.OutSize())
+	for r := 0; r < x.Rows; r++ {
+		k := 0
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				for ch := 0; ch < shape.Channels; ch++ {
+					best := math.Inf(-1)
+					for dy := 0; dy < shape.Window; dy++ {
+						for dx := 0; dx < shape.Window; dx++ {
+							y, xx := oy*shape.Window+dy, ox*shape.Window+dx
+							v := x.At(r, (y*shape.Width+xx)*shape.Channels+ch)
+							if v > best {
+								best = v
+							}
+						}
+					}
+					out.Set(r, k, best)
+					k++
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestMaxPoolForwardMatchesNaive(t *testing.T) {
+	shape := PoolShape{Channels: 2, Height: 4, Width: 6, Window: 2}
+	rng := mathrand.New(mathrand.NewPCG(1, 2))
+	x := tensor.MustNew[float64](3, shape.InSize())
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	pool, err := NewMaxPool(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveMaxPool(shape, x)
+	if !got.Equal(want) {
+		t.Fatalf("maxpool differs from naive reference")
+	}
+}
+
+func TestMaxPoolGradientCheck(t *testing.T) {
+	shape := PoolShape{Channels: 1, Height: 4, Width: 4, Window: 2}
+	rng := mathrand.New(mathrand.NewPCG(3, 4))
+	net := &Network{Layers: []Layer{
+		mustMaxPool(t, shape),
+		NewDense(shape.OutSize(), 3, rng),
+	}}
+	x := tensor.MustNew[float64](2, shape.InSize())
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	labels := []int{0, 2}
+
+	logits, err := net.Logits(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad, err := CrossEntropyGrad(SoftmaxRows(logits), labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(net.Layers) - 1; i >= 0; i-- {
+		grad, err = net.Layers[i].Backward(grad)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// grad is now dL/dx; verify a few entries numerically.
+	const eps = 1e-6
+	for _, idx := range []int{0, 5, 9, 15} {
+		orig := x.Data[idx]
+		x.Data[idx] = orig + eps
+		lp, err := net.Logits(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lossPlus := CrossEntropy(SoftmaxRows(lp), labels)
+		x.Data[idx] = orig - eps
+		lm, err := net.Logits(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lossMinus := CrossEntropy(SoftmaxRows(lm), labels)
+		x.Data[idx] = orig
+		// Re-run forward to restore the pooling winners for the cached
+		// state (numerical probing may have flipped an argmax).
+		if _, err := net.Logits(x); err != nil {
+			t.Fatal(err)
+		}
+		want := (lossPlus - lossMinus) / (2 * eps)
+		if math.Abs(grad.Data[idx]-want) > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("dx[%d] = %v, numerical %v", idx, grad.Data[idx], want)
+		}
+	}
+}
+
+func mustMaxPool(t *testing.T, shape PoolShape) *MaxPool {
+	t.Helper()
+	p, err := NewMaxPool(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSecureMaxPoolMatchesPlain(t *testing.T) {
+	env := newSecureEnv(t)
+	shape := PoolShape{Channels: 2, Height: 4, Width: 4, Window: 2}
+	rng := mathrand.New(mathrand.NewPCG(7, 8))
+	x := tensor.MustNew[float64](2, shape.InSize())
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	plain := mustMaxPool(t, shape)
+	want, err := plain.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bx := shareMat(t, env, x)
+	outs := runSecure(t, env, func(i int) (sharing.Bundle, error) {
+		l, err := NewSecureMaxPool(shape)
+		if err != nil {
+			return sharing.Bundle{}, err
+		}
+		return l.Forward(env.ctxs[i], env.views[i], "pool1", bx[i])
+	})
+	got := open(t, outs)
+	if d := maxAbsDiffFloat(t, env.params, got, want); d > 1e-4 {
+		t.Fatalf("secure maxpool deviates from plaintext by %v", d)
+	}
+}
+
+func TestSecureMaxPoolBackwardMatchesPlain(t *testing.T) {
+	env := newSecureEnv(t)
+	shape := PoolShape{Channels: 1, Height: 4, Width: 4, Window: 2}
+	rng := mathrand.New(mathrand.NewPCG(9, 10))
+	x := tensor.MustNew[float64](1, shape.InSize())
+	dy := tensor.MustNew[float64](1, shape.OutSize())
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range dy.Data {
+		dy.Data[i] = rng.NormFloat64()
+	}
+	plain := mustMaxPool(t, shape)
+	if _, err := plain.Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	wantDx, err := plain.Backward(dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bx, bdy := shareMat(t, env, x), shareMat(t, env, dy)
+	outs := runSecure(t, env, func(i int) (sharing.Bundle, error) {
+		l, err := NewSecureMaxPool(shape)
+		if err != nil {
+			return sharing.Bundle{}, err
+		}
+		if _, err := l.Forward(env.ctxs[i], env.views[i], "poolb", bx[i]); err != nil {
+			return sharing.Bundle{}, err
+		}
+		return l.Backward(env.ctxs[i], env.views[i], "poolb/b", bdy[i])
+	})
+	got := open(t, outs)
+	if d := maxAbsDiffFloat(t, env.params, got, wantDx); d > 1e-4 {
+		t.Fatalf("secure maxpool backward deviates by %v", d)
+	}
+}
+
+func TestArchWithMaxPool(t *testing.T) {
+	// Conv → MaxPool → Dense end to end through the arch machinery.
+	conv := tensor.ConvShape{InChannels: 1, Height: 8, Width: 8, Kernel: 3, Stride: 1, Pad: 1}
+	arch := Arch{
+		ConvSpec(conv, 2),
+		MaxPoolSpec(PoolShape{Channels: 2, Height: 8, Width: 8, Window: 2}),
+		ReLUSpec(),
+		DenseSpec(2*4*4, 5),
+	}
+	out, err := arch.Validate(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 5 {
+		t.Fatalf("output width %d", out)
+	}
+	weights, err := arch.InitWeights(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := arch.BuildPlain(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.MustNew[float64](2, 64)
+	rng := mathrand.New(mathrand.NewPCG(13, 14))
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	if _, err := net.TrainBatch(x, []int{1, 3}, 0.1); err != nil {
+		t.Fatalf("training through a pooled architecture: %v", err)
+	}
+	// Wire round trip must preserve the pooling spec.
+	got, err := DecodeArch(EncodeArch(arch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].Pool != arch[1].Pool {
+		t.Fatalf("pool spec lost in encoding: %+v", got[1])
+	}
+}
+
+func TestAvgPoolForward(t *testing.T) {
+	shape := PoolShape{Channels: 1, Height: 2, Width: 4, Window: 2}
+	x, _ := tensor.FromSlice(1, 8, []float64{
+		// layout: (y, x) channel-minor with C=1 → plain row-major grid
+		1, 3, 5, 7,
+		2, 4, 6, 8,
+	})
+	pool, err := NewAvgPool(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{(1 + 3 + 2 + 4) / 4.0, (5 + 7 + 6 + 8) / 4.0}
+	for i, w := range want {
+		if math.Abs(got.Data[i]-w) > 1e-12 {
+			t.Fatalf("avg[%d] = %v, want %v", i, got.Data[i], w)
+		}
+	}
+}
+
+func TestAvgPoolGradientCheck(t *testing.T) {
+	shape := PoolShape{Channels: 2, Height: 4, Width: 4, Window: 2}
+	rng := mathrand.New(mathrand.NewPCG(17, 18))
+	pool, err := NewAvgPool(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &Network{Layers: []Layer{pool, NewDense(shape.OutSize(), 3, rng)}}
+	x := tensor.MustNew[float64](1, shape.InSize())
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	labels := []int{1}
+	logits, err := net.Logits(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad, err := CrossEntropyGrad(SoftmaxRows(logits), labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(net.Layers) - 1; i >= 0; i-- {
+		grad, err = net.Layers[i].Backward(grad)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	const eps = 1e-6
+	for _, idx := range []int{0, 7, 31} {
+		orig := x.Data[idx]
+		x.Data[idx] = orig + eps
+		lp, _ := net.Logits(x)
+		lossPlus := CrossEntropy(SoftmaxRows(lp), labels)
+		x.Data[idx] = orig - eps
+		lm, _ := net.Logits(x)
+		lossMinus := CrossEntropy(SoftmaxRows(lm), labels)
+		x.Data[idx] = orig
+		want := (lossPlus - lossMinus) / (2 * eps)
+		if math.Abs(grad.Data[idx]-want) > 1e-5*(1+math.Abs(want)) {
+			t.Fatalf("avgpool dx[%d] = %v, numerical %v", idx, grad.Data[idx], want)
+		}
+	}
+}
+
+func TestSecureAvgPoolMatchesPlain(t *testing.T) {
+	env := newSecureEnv(t)
+	shape := PoolShape{Channels: 2, Height: 4, Width: 4, Window: 2}
+	rng := mathrand.New(mathrand.NewPCG(19, 20))
+	x := tensor.MustNew[float64](2, shape.InSize())
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	plain, err := NewAvgPool(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx := shareMat(t, env, x)
+	outs := runSecure(t, env, func(i int) (sharing.Bundle, error) {
+		l, err := NewSecureAvgPool(shape)
+		if err != nil {
+			return sharing.Bundle{}, err
+		}
+		return l.Forward(env.ctxs[i], env.views[i], "avg1", bx[i])
+	})
+	got := open(t, outs)
+	if d := maxAbsDiffFloat(t, env.params, got, want); d > 1e-4 {
+		t.Fatalf("secure avgpool deviates from plaintext by %v", d)
+	}
+}
+
+func TestSecureAvgPoolIsProtocolFree(t *testing.T) {
+	// Average pooling is linear: the secure layer must not exchange a
+	// single message.
+	env := newSecureEnv(t)
+	shape := PoolShape{Channels: 1, Height: 4, Width: 4, Window: 2}
+	x := tensor.MustNew[float64](1, shape.InSize())
+	bx := shareMat(t, env, x)
+	before := env.net.Stats().Messages
+	runSecure(t, env, func(i int) (sharing.Bundle, error) {
+		l, err := NewSecureAvgPool(shape)
+		if err != nil {
+			return sharing.Bundle{}, err
+		}
+		return l.Forward(env.ctxs[i], env.views[i], "avg2", bx[i])
+	})
+	if got := env.net.Stats().Messages; got != before {
+		t.Fatalf("secure avgpool exchanged %d messages, want 0", got-before)
+	}
+}

@@ -1,0 +1,472 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/trustddl/trustddl/internal/fixed"
+	"github.com/trustddl/trustddl/internal/protocol"
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/tensor"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// Mat abbreviates the ring matrix domain of the secure engine.
+type Mat = tensor.Matrix[int64]
+
+// TripleSource supplies the correlated randomness each secure operation
+// consumes: Beaver triples and the auxiliary positive matrices of
+// SecComp-BT. Implementations: OwnerSource (the model owner deals on
+// demand over the network, §III-A) and PreDealer views (offline
+// precomputation, used to separate offline from online cost).
+type TripleSource interface {
+	// MatMulTriple returns this party's share of a fresh m×n × n×p
+	// Beaver triple for the given session.
+	MatMulTriple(session string, m, n, p int) (sharing.TripleBundle, error)
+	// HadamardTriple returns an element-wise triple of shape rows×cols.
+	HadamardTriple(session string, rows, cols int) (sharing.TripleBundle, error)
+	// AuxPositive returns shares of a random positive matrix.
+	AuxPositive(session string, rows, cols int) (sharing.Bundle, error)
+}
+
+// OwnerSource requests correlated randomness from the model owner over
+// the network (online dealing; its traffic is metered).
+type OwnerSource struct {
+	// Ctx is the owning party's protocol context.
+	Ctx *protocol.Ctx
+}
+
+var _ TripleSource = OwnerSource{}
+
+// MatMulTriple implements TripleSource.
+func (s OwnerSource) MatMulTriple(session string, m, n, p int) (sharing.TripleBundle, error) {
+	return protocol.RequestMatMulTriple(s.Ctx, session, m, n, p)
+}
+
+// HadamardTriple implements TripleSource.
+func (s OwnerSource) HadamardTriple(session string, rows, cols int) (sharing.TripleBundle, error) {
+	return protocol.RequestHadamardTriple(s.Ctx, session, rows, cols)
+}
+
+// AuxPositive implements TripleSource.
+func (s OwnerSource) AuxPositive(session string, rows, cols int) (sharing.Bundle, error) {
+	return protocol.RequestAuxPositive(s.Ctx, session, rows, cols)
+}
+
+// SecureLayer is one stage of the secret-shared network. Each computing
+// party holds its own layer instance (its share bundles of the
+// parameters); the three instances advance in lockstep through shared
+// session strings.
+type SecureLayer interface {
+	// Forward maps this party's activation bundle to the output bundle.
+	Forward(ctx *protocol.Ctx, ts TripleSource, session string, x sharing.Bundle) (sharing.Bundle, error)
+	// Backward maps the output-gradient bundle to the input-gradient
+	// bundle, caching parameter gradients.
+	Backward(ctx *protocol.Ctx, ts TripleSource, session string, dy sharing.Bundle) (sharing.Bundle, error)
+	// Update applies cached gradients: W ← W − lr·dW, computed locally
+	// on shares (a public-constant multiplication, §II).
+	Update(params fixed.Params, lr float64) error
+}
+
+// transformBundle applies the same local transformation to all three
+// share components. Local transformations commute with additive
+// sharing because they are linear (§III-C).
+func transformBundle(b sharing.Bundle, f func(Mat) (Mat, error)) (sharing.Bundle, error) {
+	p, err := f(b.Primary)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	h, err := f(b.Hat)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	s, err := f(b.Second)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	return sharing.Bundle{Primary: p, Hat: h, Second: s}, nil
+}
+
+func transposeBundle(b sharing.Bundle) (sharing.Bundle, error) {
+	return transformBundle(b, func(m Mat) (Mat, error) { return m.Transpose(), nil })
+}
+
+// zeroBundle returns all-zero shares of the public constant 0.
+func zeroBundle(rows, cols int) sharing.Bundle {
+	mk := func() Mat {
+		return tensor.Matrix[int64]{Rows: rows, Cols: cols, Data: make([]int64, rows*cols)}
+	}
+	return sharing.Bundle{Primary: mk(), Hat: mk(), Second: mk()}
+}
+
+// SecureDense mirrors Dense over share bundles: y = x·W via
+// SecMatMul-BT.
+type SecureDense struct {
+	// W is this party's bundle of the in×out weight matrix.
+	W sharing.Bundle
+	// Momentum enables classical momentum SGD (0 = plain SGD). The
+	// velocity is itself secret-shared; the momentum update is linear
+	// and therefore local (§II).
+	Momentum float64
+
+	in, out int
+	x       sharing.Bundle
+	dW      sharing.Bundle
+	vel     sharing.Bundle
+}
+
+var _ SecureLayer = (*SecureDense)(nil)
+
+// NewSecureDense wraps a distributed weight bundle.
+func NewSecureDense(w sharing.Bundle) (*SecureDense, error) {
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("nn: secure dense: %w", err)
+	}
+	return &SecureDense{W: w, in: w.Rows(), out: w.Cols()}, nil
+}
+
+// Forward implements SecureLayer.
+func (d *SecureDense) Forward(ctx *protocol.Ctx, ts TripleSource, session string, x sharing.Bundle) (sharing.Bundle, error) {
+	d.x = x
+	triple, err := ts.MatMulTriple(session+"/t", x.Rows(), d.in, d.out)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	return protocol.SecMatMulBT(ctx, session, x, d.W, triple)
+}
+
+// Backward implements SecureLayer.
+func (d *SecureDense) Backward(ctx *protocol.Ctx, ts TripleSource, session string, dy sharing.Bundle) (sharing.Bundle, error) {
+	xt, err := transposeBundle(d.x)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	tw, err := ts.MatMulTriple(session+"/dw/t", d.in, dy.Rows(), d.out)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	dW, err := protocol.SecMatMulBT(ctx, session+"/dw", xt, dy, tw)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	d.dW = dW
+	wt, err := transposeBundle(d.W)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	tx, err := ts.MatMulTriple(session+"/dx/t", dy.Rows(), d.out, d.in)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	return protocol.SecMatMulBT(ctx, session+"/dx", dy, wt, tx)
+}
+
+// Update implements SecureLayer.
+func (d *SecureDense) Update(params fixed.Params, lr float64) error {
+	if d.dW.Primary.IsZeroShape() {
+		return nil
+	}
+	eff, err := applyMomentumBundle(&d.vel, d.dW, d.Momentum, params)
+	if err != nil {
+		return fmt.Errorf("nn: secure dense momentum: %w", err)
+	}
+	step := eff.Scale(params.FromFloat(lr)).Truncate(params.FracBits)
+	w, err := d.W.Sub(step)
+	if err != nil {
+		return fmt.Errorf("nn: secure dense update: %w", err)
+	}
+	d.W = w
+	return nil
+}
+
+// applyMomentumBundle folds the gradient bundle into the shared
+// velocity: v ← μ·v + dW, all local linear operations on shares.
+func applyMomentumBundle(vel *sharing.Bundle, dW sharing.Bundle, mu float64, params fixed.Params) (sharing.Bundle, error) {
+	if mu <= 0 {
+		return dW, nil
+	}
+	if vel.Primary.IsZeroShape() {
+		*vel = dW.Clone()
+		return *vel, nil
+	}
+	scaled := vel.Scale(params.FromFloat(mu)).Truncate(params.FracBits)
+	next, err := scaled.Add(dW)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	*vel = next
+	return *vel, nil
+}
+
+// setMomentum lets SecureNetwork.SetMomentum reach this layer.
+func (d *SecureDense) setMomentum(mu float64) { d.Momentum = mu }
+
+// SecureReLU mirrors ReLU: the sign of each activation is revealed via
+// SecComp-BT (the public ReLU mask of §III-C); masking and the backward
+// derivative are then local.
+type SecureReLU struct {
+	mask Mat
+}
+
+var _ SecureLayer = (*SecureReLU)(nil)
+
+// NewSecureReLU returns a secure ReLU layer.
+func NewSecureReLU() *SecureReLU { return &SecureReLU{} }
+
+// Forward implements SecureLayer.
+func (r *SecureReLU) Forward(ctx *protocol.Ctx, ts TripleSource, session string, x sharing.Bundle) (sharing.Bundle, error) {
+	rows, cols := x.Rows(), x.Cols()
+	aux, err := ts.AuxPositive(session+"/aux", rows, cols)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	triple, err := ts.HadamardTriple(session+"/t", rows, cols)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	sign, err := protocol.SecCompBT(ctx, session, x, zeroBundle(rows, cols), aux, triple)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	r.mask = sign.Map(func(v int64) int64 {
+		if v > 0 {
+			return 1
+		}
+		return 0
+	})
+	return x.HadamardPublic(r.mask)
+}
+
+// Backward implements SecureLayer.
+func (r *SecureReLU) Backward(_ *protocol.Ctx, _ TripleSource, _ string, dy sharing.Bundle) (sharing.Bundle, error) {
+	if r.mask.IsZeroShape() {
+		return sharing.Bundle{}, fmt.Errorf("nn: secure relu backward before forward")
+	}
+	return dy.HadamardPublic(r.mask)
+}
+
+// Update implements SecureLayer.
+func (r *SecureReLU) Update(fixed.Params, float64) error { return nil }
+
+// SecureConv mirrors Conv: im2col is a local transformation of the
+// shares, the lowered product runs through SecMatMul-BT.
+type SecureConv struct {
+	// Shape is the spatial geometry.
+	Shape tensor.ConvShape
+	// OutChannels is the filter count.
+	OutChannels int
+	// W is this party's bundle of the PatchSize×OutChannels weights.
+	W sharing.Bundle
+	// Momentum enables classical momentum SGD (0 = plain SGD).
+	Momentum float64
+
+	cols sharing.Bundle // stacked patch bundle of the last forward
+	dW   sharing.Bundle
+	vel  sharing.Bundle
+}
+
+var _ SecureLayer = (*SecureConv)(nil)
+
+// NewSecureConv wraps a distributed convolution weight bundle.
+func NewSecureConv(shape tensor.ConvShape, outChannels int, w sharing.Bundle) (*SecureConv, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("nn: secure conv: %w", err)
+	}
+	if w.Rows() != shape.PatchSize() || w.Cols() != outChannels {
+		return nil, fmt.Errorf("nn: secure conv weights %dx%d, want %dx%d", w.Rows(), w.Cols(), shape.PatchSize(), outChannels)
+	}
+	return &SecureConv{Shape: shape, OutChannels: outChannels, W: w}, nil
+}
+
+// OutSize returns the flattened per-sample output width.
+func (c *SecureConv) OutSize() int {
+	return c.Shape.OutHeight() * c.Shape.OutWidth() * c.OutChannels
+}
+
+// Forward implements SecureLayer.
+func (c *SecureConv) Forward(ctx *protocol.Ctx, ts TripleSource, session string, x sharing.Bundle) (sharing.Bundle, error) {
+	batch := x.Rows()
+	cols, err := transformBundle(x, func(m Mat) (Mat, error) { return tensor.Im2ColBatch(c.Shape, m) })
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	c.cols = cols
+	positions := c.Shape.OutHeight() * c.Shape.OutWidth()
+	triple, err := ts.MatMulTriple(session+"/t", batch*positions, c.Shape.PatchSize(), c.OutChannels)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	y, err := protocol.SecMatMulBT(ctx, session, cols, c.W, triple)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	// Regroup (B·P)×Cout rows into B rows of P·Cout (local reshape).
+	return transformBundle(y, func(m Mat) (Mat, error) { return m.Reshape(batch, positions*c.OutChannels) })
+}
+
+// Backward implements SecureLayer.
+func (c *SecureConv) Backward(ctx *protocol.Ctx, ts TripleSource, session string, dy sharing.Bundle) (sharing.Bundle, error) {
+	if c.cols.Primary.IsZeroShape() {
+		return sharing.Bundle{}, fmt.Errorf("nn: secure conv backward before forward")
+	}
+	batch := dy.Rows()
+	positions := c.Shape.OutHeight() * c.Shape.OutWidth()
+	dY, err := transformBundle(dy, func(m Mat) (Mat, error) { return m.Reshape(batch*positions, c.OutChannels) })
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	colsT, err := transposeBundle(c.cols)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	tw, err := ts.MatMulTriple(session+"/dw/t", c.Shape.PatchSize(), batch*positions, c.OutChannels)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	dW, err := protocol.SecMatMulBT(ctx, session+"/dw", colsT, dY, tw)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	c.dW = dW
+	wt, err := transposeBundle(c.W)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	tx, err := ts.MatMulTriple(session+"/dx/t", batch*positions, c.OutChannels, c.Shape.PatchSize())
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	dCols, err := protocol.SecMatMulBT(ctx, session+"/dx", dY, wt, tx)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	return transformBundle(dCols, func(m Mat) (Mat, error) { return tensor.Col2ImBatch(c.Shape, m, batch) })
+}
+
+// Update implements SecureLayer.
+func (c *SecureConv) Update(params fixed.Params, lr float64) error {
+	if c.dW.Primary.IsZeroShape() {
+		return nil
+	}
+	eff, err := applyMomentumBundle(&c.vel, c.dW, c.Momentum, params)
+	if err != nil {
+		return fmt.Errorf("nn: secure conv momentum: %w", err)
+	}
+	step := eff.Scale(params.FromFloat(lr)).Truncate(params.FracBits)
+	w, err := c.W.Sub(step)
+	if err != nil {
+		return fmt.Errorf("nn: secure conv update: %w", err)
+	}
+	c.W = w
+	return nil
+}
+
+// setMomentum lets SecureNetwork.SetMomentum reach this layer.
+func (c *SecureConv) setMomentum(mu float64) { c.Momentum = mu }
+
+// SoftmaxName is the delegated-function name the model owner registers
+// for the softmax service (§III-C).
+const SoftmaxName = "softmax"
+
+// SoftmaxDelegate returns the owner-side softmax evaluator: decode the
+// validated logits reconstruction, apply a numerically stable softmax
+// row-wise, re-encode.
+func SoftmaxDelegate(params fixed.Params) protocol.UnaryFunc {
+	return func(logits Mat) (Mat, error) {
+		f := tensor.Matrix[float64]{Rows: logits.Rows, Cols: logits.Cols, Data: make([]float64, logits.Size())}
+		for i, v := range logits.Data {
+			f.Data[i] = params.ToFloat(v)
+		}
+		p := SoftmaxRows(f)
+		out := tensor.Matrix[int64]{Rows: p.Rows, Cols: p.Cols, Data: make([]int64, p.Size())}
+		for i, v := range p.Data {
+			out.Data[i] = params.FromFloat(v)
+		}
+		return out, nil
+	}
+}
+
+// SecureNetwork is the secret-shared instance of a feed-forward
+// network with a delegated softmax head.
+type SecureNetwork struct {
+	// Layers advance in lockstep across the three parties.
+	Layers []SecureLayer
+	// OwnerActor is the actor evaluating the softmax head.
+	OwnerActor int
+}
+
+// SetMomentum configures classical momentum on every parameterized
+// layer (0 disables it). All parties must use the same value.
+func (n *SecureNetwork) SetMomentum(mu float64) {
+	for _, l := range n.Layers {
+		if m, ok := l.(interface{ setMomentum(float64) }); ok {
+			m.setMomentum(mu)
+		}
+	}
+}
+
+// Logits runs the secure forward pass up to (excluding) softmax.
+func (n *SecureNetwork) Logits(ctx *protocol.Ctx, ts TripleSource, session string, x sharing.Bundle) (sharing.Bundle, error) {
+	var err error
+	for i, l := range n.Layers {
+		x, err = l.Forward(ctx, ts, fmt.Sprintf("%s/l%d", session, i), x)
+		if err != nil {
+			return sharing.Bundle{}, fmt.Errorf("nn: secure layer %d: %w", i, err)
+		}
+	}
+	return x, nil
+}
+
+// TrainBatch performs one secure SGD step: forward, softmax at the
+// owner, local gradient (p − y)/B, backward, local updates.
+func (n *SecureNetwork) TrainBatch(ctx *protocol.Ctx, ts TripleSource, session string, x, oneHot sharing.Bundle, lr float64) error {
+	batch := x.Rows()
+	logits, err := n.Logits(ctx, ts, session, x)
+	if err != nil {
+		return err
+	}
+	probs, err := protocol.CallOwner(ctx, n.OwnerActor, SoftmaxName, session+"/sm", logits)
+	if err != nil {
+		return fmt.Errorf("nn: softmax delegation: %w", err)
+	}
+	diff, err := probs.Sub(oneHot)
+	if err != nil {
+		return fmt.Errorf("nn: loss gradient: %w", err)
+	}
+	grad := diff.Scale(ctx.Params.FromFloat(1.0 / float64(batch))).Truncate(ctx.Params.FracBits)
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad, err = n.Layers[i].Backward(ctx, ts, fmt.Sprintf("%s/b%d", session, i), grad)
+		if err != nil {
+			return fmt.Errorf("nn: secure layer %d backward: %w", i, err)
+		}
+	}
+	for i, l := range n.Layers {
+		if err := l.Update(ctx.Params, lr); err != nil {
+			return fmt.Errorf("nn: secure layer %d update: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// NewSecurePaperNet builds one party's instance of the Table I network
+// from its distributed weight bundles.
+func NewSecurePaperNet(conv, fc1, fc2 sharing.Bundle) (*SecureNetwork, error) {
+	convLayer, err := NewSecureConv(PaperConvShape(), PaperOutChannels, conv)
+	if err != nil {
+		return nil, err
+	}
+	d1, err := NewSecureDense(fc1)
+	if err != nil {
+		return nil, err
+	}
+	d2, err := NewSecureDense(fc2)
+	if err != nil {
+		return nil, err
+	}
+	return &SecureNetwork{
+		Layers:     []SecureLayer{convLayer, NewSecureReLU(), d1, NewSecureReLU(), d2},
+		OwnerActor: transport.ModelOwner,
+	}, nil
+}

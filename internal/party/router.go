@@ -1,0 +1,161 @@
+// Package party provides the per-actor protocol runtime: a router that
+// matches inbound messages to the (session, step, sender) tuples a
+// protocol round is waiting for, buffering out-of-order arrivals and
+// enforcing the receive timers that the paper prescribes for detecting
+// delayed or dropped shares from a Byzantine party (§III-B).
+package party
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// DefaultTimeout is the per-message receive timer. The paper leaves the
+// timeout unspecified; two seconds is far above honest round latency on
+// both transports while keeping fault-injection tests fast.
+const DefaultTimeout = 2 * time.Second
+
+// TimeoutError reports a peer that failed to deliver an expected
+// message in time — the signal the paper's parties use to flag
+// Byzantine delay/drop behaviour.
+type TimeoutError struct {
+	From    int
+	Session string
+	Step    string
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("party: timed out waiting for %s (session %q, step %q)",
+		transport.ActorName(e.From), e.Session, e.Step)
+}
+
+type msgKey struct {
+	from    int
+	session string
+	step    string
+}
+
+// Router is the single-consumer message demultiplexer for one actor.
+// Protocol code is synchronous: it sends its round messages and then
+// blocks in Expect/Gather for the peers' messages, while the router
+// buffers anything that arrives early or out of order.
+//
+// Router is not safe for concurrent use; each actor drives exactly one
+// protocol at a time, mirroring the sequential round structure of
+// Algorithms 4 and 5.
+type Router struct {
+	ep      transport.Endpoint
+	timeout time.Duration
+	pending map[msgKey][]transport.Message
+}
+
+// NewRouter wraps an endpoint. timeout <= 0 selects DefaultTimeout.
+func NewRouter(ep transport.Endpoint, timeout time.Duration) *Router {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Router{ep: ep, timeout: timeout, pending: make(map[msgKey][]transport.Message)}
+}
+
+// Self returns the actor ID.
+func (r *Router) Self() int { return r.ep.Self() }
+
+// Timeout returns the configured receive timer.
+func (r *Router) Timeout() time.Duration { return r.timeout }
+
+// Send delivers payload to the peer under the given session and step.
+func (r *Router) Send(to int, session, step string, payload []byte) error {
+	return r.ep.Send(transport.Message{To: to, Session: session, Step: step, Payload: payload})
+}
+
+// Broadcast sends payload to every listed peer.
+func (r *Router) Broadcast(tos []int, session, step string, payload []byte) error {
+	for _, to := range tos {
+		if err := r.Send(to, session, step, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Expect blocks until a message with the given coordinates arrives,
+// buffering unrelated traffic. On expiry of the receive timer it
+// returns a *TimeoutError.
+func (r *Router) Expect(from int, session, step string) (transport.Message, error) {
+	key := msgKey{from: from, session: session, step: step}
+	if q := r.pending[key]; len(q) > 0 {
+		msg := q[0]
+		if len(q) == 1 {
+			delete(r.pending, key)
+		} else {
+			r.pending[key] = q[1:]
+		}
+		return msg, nil
+	}
+	deadline := time.Now().Add(r.timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return transport.Message{}, &TimeoutError{From: from, Session: session, Step: step}
+		}
+		msg, err := r.ep.Recv(remaining)
+		if err != nil {
+			if err == transport.ErrTimeout {
+				return transport.Message{}, &TimeoutError{From: from, Session: session, Step: step}
+			}
+			return transport.Message{}, err
+		}
+		got := msgKey{from: msg.From, session: msg.Session, step: msg.Step}
+		if got == key {
+			return msg, nil
+		}
+		r.pending[got] = append(r.pending[got], msg)
+	}
+}
+
+// Gather collects one message from each peer in froms (any arrival
+// order). Peers that time out are reported in the returned map with a
+// nil payload entry absent; the error aggregates the first timeout so
+// callers can both flag the slow peer and continue with the rest —
+// TrustDDL must keep going when one party stalls (guaranteed output
+// delivery).
+func (r *Router) Gather(froms []int, session, step string) (map[int]transport.Message, error) {
+	out := make(map[int]transport.Message, len(froms))
+	var firstErr error
+	for _, from := range froms {
+		msg, err := r.Expect(from, session, step)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out[from] = msg
+	}
+	return out, firstErr
+}
+
+// Next returns the next message regardless of its coordinates:
+// buffered messages first (oldest per key), then fresh arrivals. It
+// powers servers that dispatch on message content rather than waiting
+// for known keys (e.g. a remote computing party's command loop).
+func (r *Router) Next(timeout time.Duration) (transport.Message, error) {
+	for key, q := range r.pending {
+		msg := q[0]
+		if len(q) == 1 {
+			delete(r.pending, key)
+		} else {
+			r.pending[key] = q[1:]
+		}
+		return msg, nil
+	}
+	return r.ep.Recv(timeout)
+}
+
+// Drain discards buffered messages (between experiments).
+func (r *Router) Drain() {
+	r.pending = make(map[msgKey][]transport.Message)
+}

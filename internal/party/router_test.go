@@ -1,0 +1,168 @@
+package party
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+func twoParties(t *testing.T) (*Router, *Router) {
+	t.Helper()
+	n := transport.NewChanNetwork()
+	t.Cleanup(func() { _ = n.Close() })
+	ep1, err := n.Endpoint(transport.Party1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := n.Endpoint(transport.Party2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRouter(ep1, 500*time.Millisecond), NewRouter(ep2, 500*time.Millisecond)
+}
+
+func TestExpectDelivers(t *testing.T) {
+	r1, r2 := twoParties(t)
+	if err := r1.Send(transport.Party2, "s1", "open", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := r2.Expect(transport.Party1, "s1", "open")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Payload) != "hi" {
+		t.Fatalf("payload %q", msg.Payload)
+	}
+}
+
+func TestExpectBuffersOutOfOrder(t *testing.T) {
+	r1, r2 := twoParties(t)
+	// Send step "open" before step "commit"; receiver asks for commit
+	// first.
+	if err := r1.Send(transport.Party2, "s", "open", []byte("o")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Send(transport.Party2, "s", "commit", []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	c, err := r2.Expect(transport.Party1, "s", "commit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c.Payload) != "c" {
+		t.Fatalf("commit payload %q", c.Payload)
+	}
+	o, err := r2.Expect(transport.Party1, "s", "open")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(o.Payload) != "o" {
+		t.Fatalf("open payload %q (buffered message lost)", o.Payload)
+	}
+}
+
+func TestExpectFIFOWithinKey(t *testing.T) {
+	r1, r2 := twoParties(t)
+	for i := byte(0); i < 3; i++ {
+		if err := r1.Send(transport.Party2, "s", "step", []byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force buffering by first waiting on a different key until the
+	// timer expires.
+	_, _ = r2.Expect(transport.Party3, "s", "step")
+	for i := byte(0); i < 3; i++ {
+		msg, err := r2.Expect(transport.Party1, "s", "step")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Payload[0] != i {
+			t.Fatalf("message %d arrived as %d: FIFO order violated", i, msg.Payload[0])
+		}
+	}
+}
+
+func TestExpectTimeout(t *testing.T) {
+	_, r2 := twoParties(t)
+	_, err := r2.Expect(transport.Party1, "s", "never")
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want TimeoutError", err)
+	}
+	if te.From != transport.Party1 || te.Step != "never" {
+		t.Fatalf("timeout metadata wrong: %+v", te)
+	}
+}
+
+func TestGatherAnyOrder(t *testing.T) {
+	n := transport.NewChanNetwork()
+	defer n.Close()
+	eps := make(map[int]*Router, 3)
+	for _, id := range []int{transport.Party1, transport.Party2, transport.Party3} {
+		ep, err := n.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[id] = NewRouter(ep, 500*time.Millisecond)
+	}
+	// P2 and P3 each send to P1; P3 first.
+	if err := eps[transport.Party3].Send(transport.Party1, "g", "x", []byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[transport.Party2].Send(transport.Party1, "g", "x", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eps[transport.Party1].Gather([]int{transport.Party2, transport.Party3}, "g", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[transport.Party2].Payload) != "two" || string(got[transport.Party3].Payload) != "three" {
+		t.Fatalf("gather mixed up senders: %+v", got)
+	}
+}
+
+func TestGatherPartialOnTimeout(t *testing.T) {
+	r1, r2 := twoParties(t)
+	if err := r1.Send(transport.Party2, "g", "x", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r2.Gather([]int{transport.Party1, transport.Party3}, "g", "x")
+	var te *TimeoutError
+	if !errors.As(err, &te) || te.From != transport.Party3 {
+		t.Fatalf("err = %v, want timeout from P3", err)
+	}
+	if _, ok := got[transport.Party1]; !ok {
+		t.Fatal("timely message from P1 lost: guaranteed output delivery requires partial results")
+	}
+	if _, ok := got[transport.Party3]; ok {
+		t.Fatal("phantom message attributed to P3")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	r1, r2 := twoParties(t)
+	if err := r1.Send(transport.Party2, "old", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Buffer it under a mismatched Expect, then drain.
+	_, _ = r2.Expect(transport.Party1, "other", "y")
+	r2.Drain()
+	if _, err := r2.Expect(transport.Party1, "old", "x"); err == nil {
+		t.Fatal("drained message still delivered")
+	}
+}
+
+func TestDefaultTimeoutApplied(t *testing.T) {
+	n := transport.NewChanNetwork()
+	defer n.Close()
+	ep, err := n.Endpoint(transport.Party1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(ep, 0)
+	if r.Timeout() != DefaultTimeout {
+		t.Fatalf("timeout = %v, want %v", r.Timeout(), DefaultTimeout)
+	}
+}

@@ -1,0 +1,275 @@
+// Package protocol implements TrustDDL's secure computation protocols:
+// the honest-but-curious N-party SecMul / SecMatMul / SecComp of §II
+// (Algorithms 2–3) and the Byzantine-tolerant 3PC SecMul-BT /
+// SecMatMul-BT / SecComp-BT of §III-B (Algorithms 4–5), including the
+// commitment phase, the per-reconstruction flags and the minimum-
+// distance decision rule. It also provides the model-owner service that
+// deals Beaver triples and evaluates delegated functions (softmax).
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/trustddl/trustddl/internal/commit"
+	"github.com/trustddl/trustddl/internal/fixed"
+	"github.com/trustddl/trustddl/internal/party"
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/tensor"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// Mat abbreviates the ring matrix type.
+type Mat = tensor.Matrix[int64]
+
+// Adversary customizes a computing party's share handling; protocol
+// code calls it at the two corruption points the security analysis
+// distinguishes. A nil Adversary is honest behaviour.
+type Adversary interface {
+	// CorruptPreCommit rewrites the bundles a party is about to commit
+	// to AND open (Case 3: consistent corruption that survives the hash
+	// check but is caught by the decision rule).
+	CorruptPreCommit(session, step string, bs []sharing.Bundle) []sharing.Bundle
+	// CorruptPostCommit rewrites the bundles actually opened to one
+	// recipient after the commitment was sent (Cases 1 and 2: the hash
+	// check exposes the mismatch at that recipient).
+	CorruptPostCommit(to int, session, step string, bs []sharing.Bundle) []sharing.Bundle
+}
+
+// Ctx is one computing party's protocol execution context.
+type Ctx struct {
+	// Router carries this party's messages.
+	Router *party.Router
+	// Index is the party number 1..3.
+	Index int
+	// Params is the fixed-point encoding shared by all actors.
+	Params fixed.Params
+	// Commitment enables the commitment phase (the malicious-adversary
+	// configuration). Disabled, the protocols still run redundantly and
+	// recover from corrupted shares via the decision rule, but cannot
+	// pin share/hash equivocation on the offender — this is the
+	// honest-but-curious configuration benchmarked in Table II.
+	Commitment bool
+	// Adversary, when non-nil, makes this party Byzantine.
+	Adversary Adversary
+	// Optimistic enables the reduced-redundancy opening (the paper's
+	// §V future work, see optimistic.go): hat copies are exchanged only
+	// when the partial reconstructions disagree. All parties must agree
+	// on this setting.
+	Optimistic bool
+	// OptimisticTolerance bounds honest candidate disagreement in raw
+	// ring units (0 selects DefaultOptimisticTolerance).
+	OptimisticTolerance float64
+	// Flagged records parties this party has independently convicted of
+	// violating the commitment phase or dropping messages; their shares
+	// are excluded from all later reconstructions ("exclude the
+	// offending party from further computations", §III-B).
+	Flagged [sharing.NumParties + 1]bool
+}
+
+// NewCtx returns an honest party context.
+func NewCtx(r *party.Router, index int, params fixed.Params, commitment bool) (*Ctx, error) {
+	if index < 1 || index > sharing.NumParties {
+		return nil, fmt.Errorf("protocol: party index %d out of range", index)
+	}
+	return &Ctx{Router: r, Index: index, Params: params, Commitment: commitment}, nil
+}
+
+// Peers lists the other two computing parties.
+func (ctx *Ctx) Peers() []int {
+	peers := make([]int, 0, sharing.NumParties-1)
+	for p := 1; p <= sharing.NumParties; p++ {
+		if p != ctx.Index {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
+// FlagCount reports how many parties this party has convicted.
+func (ctx *Ctx) FlagCount() int {
+	n := 0
+	for p := 1; p <= sharing.NumParties; p++ {
+		if ctx.Flagged[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// exchangeResult is the outcome of one commit-then-open round.
+type exchangeResult struct {
+	// bundles[p] holds party p's opened bundles (p in 1..3, own
+	// included). Entries for parties that failed to open in time are
+	// zero-filled placeholders.
+	bundles [sharing.NumParties + 1][]sharing.Bundle
+	// flagged[p] is true when p violated the commitment phase, timed
+	// out, or was convicted earlier.
+	flagged [sharing.NumParties + 1]bool
+	// decided, when non-nil, carries the already-agreed masked values
+	// (the optimistic fast path); bundles is then unset.
+	decided []Mat
+}
+
+// exchangeBundles runs the commitment phase (when enabled) and the
+// share-opening round of Algorithms 4–5 for a vector of bundles (e.g.
+// the e and f vectors of SecMul-BT travel together in one round).
+func (ctx *Ctx) exchangeBundles(session, step string, bundles []sharing.Bundle) (exchangeResult, error) {
+	if ctx.Optimistic {
+		return ctx.exchangeOptimistic(session, step, bundles)
+	}
+	var res exchangeResult
+	peers := ctx.Peers()
+
+	// Case-3 adversaries corrupt before committing so the hash check
+	// passes over the corrupted shares.
+	own := bundles
+	if ctx.Adversary != nil {
+		own = ctx.Adversary.CorruptPreCommit(session, step, cloneBundles(bundles))
+	}
+
+	commitStep, openStep := step+"/commit", step+"/open"
+	var digests [sharing.NumParties + 1]commit.Digest
+	var haveDigest [sharing.NumParties + 1]bool
+	if ctx.Commitment {
+		// Commit round: hash of the full share vector (§III-B, lines
+		// 3–8 of Algorithm 4).
+		d := commit.Matrices(flattenBundles(own)...)
+		if err := ctx.Router.Broadcast(peers, session, commitStep, d[:]); err != nil {
+			return res, fmt.Errorf("protocol: commit round: %w", err)
+		}
+		msgs, gerr := ctx.Router.Gather(peers, session, commitStep)
+		if gerr != nil && !isTimeout(gerr) {
+			return res, gerr
+		}
+		for _, p := range peers {
+			msg, ok := msgs[p]
+			if !ok || len(msg.Payload) != commit.Size {
+				res.flagged[p] = true
+				continue
+			}
+			copy(digests[p][:], msg.Payload)
+			haveDigest[p] = true
+		}
+	}
+
+	// Open round (lines 9–14).
+	for _, p := range peers {
+		toSend := own
+		if ctx.Adversary != nil {
+			toSend = ctx.Adversary.CorruptPostCommit(p, session, openStep, cloneBundles(own))
+		}
+		if err := ctx.Router.Send(p, session, openStep, transport.EncodeBundles(toSend...)); err != nil {
+			return res, fmt.Errorf("protocol: open round: %w", err)
+		}
+	}
+	res.bundles[ctx.Index] = own
+	msgs, gerr := ctx.Router.Gather(peers, session, openStep)
+	if gerr != nil && !isTimeout(gerr) {
+		return res, gerr
+	}
+	for _, p := range peers {
+		msg, ok := msgs[p]
+		if !ok {
+			res.flagged[p] = true
+			res.bundles[p] = zeroBundlesLike(own)
+			continue
+		}
+		bs, err := transport.DecodeBundles(msg.Payload, len(own))
+		if err != nil || !shapesMatch(bs, own) {
+			res.flagged[p] = true
+			res.bundles[p] = zeroBundlesLike(own)
+			continue
+		}
+		if ctx.Commitment {
+			// Recompute and verify the committed digest (line 12).
+			if !haveDigest[p] || !commit.Verify(digests[p], flattenBundles(bs)...) {
+				res.flagged[p] = true
+			}
+		}
+		res.bundles[p] = bs
+	}
+
+	// Merge with prior convictions and persist new ones.
+	for p := 1; p <= sharing.NumParties; p++ {
+		if ctx.Flagged[p] {
+			res.flagged[p] = true
+		} else if res.flagged[p] {
+			ctx.Flagged[p] = true
+		}
+	}
+	return res, nil
+}
+
+// reconstructionsFor builds the flagged six-way reconstruction set for
+// bundle index k of an exchange result.
+func (ctx *Ctx) reconstructionsFor(res exchangeResult, k int) (*sharing.Reconstructions, error) {
+	var per [sharing.NumParties]sharing.Bundle
+	for p := 1; p <= sharing.NumParties; p++ {
+		if len(res.bundles[p]) <= k {
+			return nil, fmt.Errorf("protocol: party %d opened %d bundles, need index %d", p, len(res.bundles[p]), k)
+		}
+		per[p-1] = res.bundles[p][k]
+	}
+	sets, err := sharing.CollectSets(per)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := sharing.ReconstructSix(sets)
+	if err != nil {
+		return nil, err
+	}
+	for p := 1; p <= sharing.NumParties; p++ {
+		if res.flagged[p] {
+			rec.FlagParty(p)
+		}
+	}
+	return &rec, nil
+}
+
+func isTimeout(err error) bool {
+	var te *party.TimeoutError
+	return errors.As(err, &te)
+}
+
+func cloneBundles(bs []sharing.Bundle) []sharing.Bundle {
+	out := make([]sharing.Bundle, len(bs))
+	for i, b := range bs {
+		out[i] = b.Clone()
+	}
+	return out
+}
+
+func flattenBundles(bs []sharing.Bundle) []Mat {
+	out := make([]Mat, 0, 3*len(bs))
+	for _, b := range bs {
+		out = append(out, b.Primary, b.Hat, b.Second)
+	}
+	return out
+}
+
+func zeroBundlesLike(bs []sharing.Bundle) []sharing.Bundle {
+	out := make([]sharing.Bundle, len(bs))
+	for i, b := range bs {
+		out[i] = sharing.Bundle{
+			Primary: tensor.Matrix[int64]{Rows: b.Primary.Rows, Cols: b.Primary.Cols, Data: make([]int64, b.Primary.Size())},
+			Hat:     tensor.Matrix[int64]{Rows: b.Hat.Rows, Cols: b.Hat.Cols, Data: make([]int64, b.Hat.Size())},
+			Second:  tensor.Matrix[int64]{Rows: b.Second.Rows, Cols: b.Second.Cols, Data: make([]int64, b.Second.Size())},
+		}
+	}
+	return out
+}
+
+func shapesMatch(got, want []sharing.Bundle) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if !got[i].Primary.SameShape(want[i].Primary) ||
+			!got[i].Hat.SameShape(want[i].Hat) ||
+			!got[i].Second.SameShape(want[i].Second) {
+			return false
+		}
+	}
+	return true
+}

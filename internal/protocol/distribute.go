@@ -1,0 +1,66 @@
+package protocol
+
+import (
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// DistributeBundles sends each computing party its bundle of a freshly
+// shared secret (the data-owner / model-owner share distribution of
+// §III-A).
+func DistributeBundles(ep transport.Endpoint, session, step string, bundles [sharing.NumParties]sharing.Bundle) error {
+	for p := 1; p <= sharing.NumParties; p++ {
+		err := ep.Send(transport.Message{
+			To:      p,
+			Session: session,
+			Step:    step,
+			Payload: transport.EncodeBundle(bundles[p-1]),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecvBundle receives a distributed bundle at a computing party.
+func RecvBundle(ctx *Ctx, from int, session, step string) (sharing.Bundle, error) {
+	msg, err := ctx.Router.Expect(from, session, step)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	return transport.DecodeBundle(msg.Payload)
+}
+
+// DistributePlainShares sends each listed party its plain additive
+// share (the N-party HbC distribution used by the baselines).
+func DistributePlainShares(ep transport.Endpoint, session, step string, parties []int, shares []Mat) error {
+	for i, p := range parties {
+		err := ep.Send(transport.Message{
+			To:      p,
+			Session: session,
+			Step:    step,
+			Payload: transport.EncodeMatrices(shares[i]),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecvPlainShare receives a plain share at an HbC party.
+func RecvPlainShare(ctx *HbCCtx, from int, session, step string) (Mat, error) {
+	msg, err := ctx.Router.Expect(from, session, step)
+	if err != nil {
+		return Mat{}, err
+	}
+	ms, err := transport.DecodeMatrices(msg.Payload)
+	if err != nil {
+		return Mat{}, err
+	}
+	if len(ms) != 1 {
+		return Mat{}, err
+	}
+	return ms[0], nil
+}

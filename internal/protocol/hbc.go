@@ -1,0 +1,191 @@
+package protocol
+
+import (
+	"fmt"
+
+	"github.com/trustddl/trustddl/internal/fixed"
+	"github.com/trustddl/trustddl/internal/party"
+)
+
+// HbCCtx is one party's context for the honest-but-curious N-party
+// protocols of §II (Algorithms 2–3). These run over plain additive
+// shares without redundancy, commitment or recovery; they are the
+// building blocks of the baseline framework simulators and the
+// "redundancy off" ablation.
+type HbCCtx struct {
+	// Router carries this party's messages.
+	Router *party.Router
+	// Self is this party's actor ID.
+	Self int
+	// Parties lists all N computing parties' actor IDs (shared order).
+	Parties []int
+	// Params is the fixed-point encoding.
+	Params fixed.Params
+}
+
+// HbCTriple is one party's plain Beaver-triple share.
+type HbCTriple struct {
+	A Mat
+	B Mat
+	C Mat
+}
+
+// others returns the peer actor IDs.
+func (ctx *HbCCtx) others() []int {
+	out := make([]int, 0, len(ctx.Parties)-1)
+	for _, p := range ctx.Parties {
+		if p != ctx.Self {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SecMul is Algorithm 2: element-wise multiplication over plain
+// additive shares with a designated party r that reconstructs and
+// redistributes the masked values (the communication optimization of
+// §II). The result share is truncated back to single fixed-point scale.
+func SecMul(ctx *HbCCtx, session string, x, y Mat, tr HbCTriple, r int) (Mat, error) {
+	z, err := secMulHbC(ctx, session, x, y, tr, r, mulHadamard)
+	if err != nil {
+		return Mat{}, err
+	}
+	return z.Map(func(v int64) int64 { return v >> ctx.Params.FracBits }), nil
+}
+
+// SecMatMul is the matrix-product form of Algorithm 2.
+func SecMatMul(ctx *HbCCtx, session string, x, y Mat, tr HbCTriple, r int) (Mat, error) {
+	z, err := secMulHbC(ctx, session, x, y, tr, r, mulMatrix)
+	if err != nil {
+		return Mat{}, err
+	}
+	return z.Map(func(v int64) int64 { return v >> ctx.Params.FracBits }), nil
+}
+
+func secMulHbC(ctx *HbCCtx, session string, x, y Mat, tr HbCTriple, r int, kind mulKind) (Mat, error) {
+	// Lines 1–2: mask with the triple.
+	e, err := x.Sub(tr.A)
+	if err != nil {
+		return Mat{}, fmt.Errorf("protocol: SecMul mask e: %w", err)
+	}
+	f, err := y.Sub(tr.B)
+	if err != nil {
+		return Mat{}, fmt.Errorf("protocol: SecMul mask f: %w", err)
+	}
+
+	// Lines 3–10: the designated party r collects all masked shares,
+	// reconstructs e and f and redistributes them.
+	eVal, fVal, err := revealPairAt(ctx, session, "ef", e, f, r)
+	if err != nil {
+		return Mat{}, err
+	}
+
+	mul := func(a, b Mat) (Mat, error) {
+		if kind == mulMatrix {
+			return a.MatMul(b)
+		}
+		return a.Hadamard(b)
+	}
+	// Lines 7 and 11: z_i = c_i + e∘b_i + a_i∘f (+ e∘f at party r).
+	eb, err := mul(eVal, tr.B)
+	if err != nil {
+		return Mat{}, err
+	}
+	af, err := mul(tr.A, fVal)
+	if err != nil {
+		return Mat{}, err
+	}
+	z, err := tr.C.Add(eb)
+	if err != nil {
+		return Mat{}, err
+	}
+	if err := z.AddInPlace(af); err != nil {
+		return Mat{}, err
+	}
+	if ctx.Self == r {
+		ef, err := mul(eVal, fVal)
+		if err != nil {
+			return Mat{}, err
+		}
+		if err := z.AddInPlace(ef); err != nil {
+			return Mat{}, err
+		}
+	}
+	return z, nil
+}
+
+// SecComp is Algorithm 3: element-wise comparison over plain additive
+// shares. It returns the public sign(x − y) matrix.
+func SecComp(ctx *HbCCtx, session string, x, y, t Mat, tr HbCTriple, r int) (Mat, error) {
+	// Line 1: α = x − y.
+	alpha, err := x.Sub(y)
+	if err != nil {
+		return Mat{}, fmt.Errorf("protocol: SecComp alpha: %w", err)
+	}
+	// Line 2: β = SecMul(t, α), untruncated — only the sign is used.
+	beta, err := secMulHbC(ctx, session+"/mul", t, alpha, tr, r, mulHadamard)
+	if err != nil {
+		return Mat{}, err
+	}
+	// Lines 3–9: party r reconstructs β and redistributes it.
+	betaVal, err := revealAt(ctx, session, "beta", beta, r)
+	if err != nil {
+		return Mat{}, err
+	}
+	// Lines 10–11.
+	return signOf(betaVal), nil
+}
+
+// Reveal opens a plain-shared value at every party via the designated
+// party r (used by the baselines for model outputs).
+func Reveal(ctx *HbCCtx, session string, share Mat, r int) (Mat, error) {
+	return revealAt(ctx, session, "reveal", share, r)
+}
+
+// revealPairAt reconstructs two masked matrices at party r and
+// redistributes them (the e/f round of Algorithm 2).
+func revealPairAt(ctx *HbCCtx, session, step string, a, b Mat, r int) (Mat, Mat, error) {
+	if ctx.Self == r {
+		sumA, sumB := a.Clone(), b.Clone()
+		msgs, err := ctx.Router.Gather(ctx.others(), session, step)
+		if err != nil {
+			return Mat{}, Mat{}, err
+		}
+		for _, p := range ctx.others() {
+			ms, err := decodePair(msgs[p].Payload)
+			if err != nil {
+				return Mat{}, Mat{}, fmt.Errorf("protocol: reveal from %d: %w", p, err)
+			}
+			if err := sumA.AddInPlace(ms[0]); err != nil {
+				return Mat{}, Mat{}, err
+			}
+			if err := sumB.AddInPlace(ms[1]); err != nil {
+				return Mat{}, Mat{}, err
+			}
+		}
+		payload := encodePair(sumA, sumB)
+		if err := ctx.Router.Broadcast(ctx.others(), session, step+"/val", payload); err != nil {
+			return Mat{}, Mat{}, err
+		}
+		return sumA, sumB, nil
+	}
+	if err := ctx.Router.Send(r, session, step, encodePair(a, b)); err != nil {
+		return Mat{}, Mat{}, err
+	}
+	msg, err := ctx.Router.Expect(r, session, step+"/val")
+	if err != nil {
+		return Mat{}, Mat{}, err
+	}
+	ms, err := decodePair(msg.Payload)
+	if err != nil {
+		return Mat{}, Mat{}, err
+	}
+	return ms[0], ms[1], nil
+}
+
+// revealAt reconstructs one masked matrix at party r and redistributes
+// it (the β round of Algorithm 3).
+func revealAt(ctx *HbCCtx, session, step string, m Mat, r int) (Mat, error) {
+	a, _, err := revealPairAt(ctx, session, step, m, zeroLike(m), r)
+	return a, err
+}

@@ -1,0 +1,208 @@
+package protocol
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/fixed"
+	"github.com/trustddl/trustddl/internal/party"
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/tensor"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// hbcEnv wires N honest-but-curious parties over one network.
+type hbcEnv struct {
+	ctxs   []*HbCCtx
+	src    *sharing.SeededSource
+	params fixed.Params
+}
+
+func newHbCEnv(t *testing.T, n int) *hbcEnv {
+	t.Helper()
+	net := transport.NewChanNetwork()
+	t.Cleanup(func() { _ = net.Close() })
+	env := &hbcEnv{params: fixed.Default(), src: sharing.NewSeededSource(31)}
+	parties := make([]int, n)
+	for i := 0; i < n; i++ {
+		parties[i] = i + 1
+	}
+	for i := 0; i < n; i++ {
+		ep, err := net.Endpoint(parties[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.ctxs = append(env.ctxs, &HbCCtx{
+			Router:  party.NewRouter(ep, time.Second),
+			Self:    parties[i],
+			Parties: parties,
+			Params:  env.params,
+		})
+	}
+	return env
+}
+
+// shareN produces plain N-way shares of the fixed-point encoding of m.
+func (env *hbcEnv) shareN(t *testing.T, m tensor.Matrix[float64], n int) []Mat {
+	t.Helper()
+	enc := tensor.Matrix[int64]{Rows: m.Rows, Cols: m.Cols, Data: make([]int64, m.Size())}
+	for i, v := range m.Data {
+		enc.Data[i] = env.params.FromFloat(v)
+	}
+	shares, err := sharing.CreateShares(env.src, enc, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shares
+}
+
+// tripleN deals a plain N-way Beaver triple.
+func (env *hbcEnv) tripleN(t *testing.T, n int, aRows, aCols, bRows, bCols int, matmul bool) []HbCTriple {
+	t.Helper()
+	a := tensor.MustNew[int64](aRows, aCols)
+	b := tensor.MustNew[int64](bRows, bCols)
+	for i := range a.Data {
+		a.Data[i] = int64(env.src.Uint64())
+	}
+	for i := range b.Data {
+		b.Data[i] = int64(env.src.Uint64())
+	}
+	var c Mat
+	var err error
+	if matmul {
+		c, err = a.MatMul(b)
+	} else {
+		c, err = a.Hadamard(b)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := sharing.CreateShares(env.src, a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := sharing.CreateShares(env.src, b, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := sharing.CreateShares(env.src, c, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]HbCTriple, n)
+	for i := 0; i < n; i++ {
+		out[i] = HbCTriple{A: as[i], B: bs[i], C: cs[i]}
+	}
+	return out
+}
+
+func runHbC[T any](t *testing.T, env *hbcEnv, fn func(ctx *HbCCtx, i int) (T, error)) []T {
+	t.Helper()
+	n := len(env.ctxs)
+	out := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = fn(env.ctxs[i], i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("party %d: %v", i+1, err)
+		}
+	}
+	return out
+}
+
+func TestHbCSecMulTwoParties(t *testing.T) {
+	env := newHbCEnv(t, 2)
+	x, _ := tensor.FromSlice(2, 2, []float64{1.5, -2, 0.25, 4})
+	y, _ := tensor.FromSlice(2, 2, []float64{2, 3, -4, 0.5})
+	xs, ys := env.shareN(t, x, 2), env.shareN(t, y, 2)
+	tr := env.tripleN(t, 2, 2, 2, 2, 2, false)
+	outs := runHbC(t, env, func(ctx *HbCCtx, i int) (Mat, error) {
+		return SecMul(ctx, "hmul", xs[i], ys[i], tr[i], 1)
+	})
+	got, err := sharing.Reconstruct(outs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := x.Hadamard(y)
+	floatsClose(t, env.params, got, want, 8)
+}
+
+func TestHbCSecMulThreeParties(t *testing.T) {
+	env := newHbCEnv(t, 3)
+	x, _ := tensor.FromSlice(1, 3, []float64{2, -3, 0.5})
+	y, _ := tensor.FromSlice(1, 3, []float64{0.5, 2, -8})
+	xs, ys := env.shareN(t, x, 3), env.shareN(t, y, 3)
+	tr := env.tripleN(t, 3, 1, 3, 1, 3, false)
+	outs := runHbC(t, env, func(ctx *HbCCtx, i int) (Mat, error) {
+		return SecMul(ctx, "hmul3", xs[i], ys[i], tr[i], 2)
+	})
+	got, err := sharing.Reconstruct(outs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := x.Hadamard(y)
+	floatsClose(t, env.params, got, want, 8)
+}
+
+func TestHbCSecMatMul(t *testing.T) {
+	env := newHbCEnv(t, 2)
+	x, _ := tensor.FromSlice(2, 3, []float64{1, 0.5, -2, 3, -1, 0.25})
+	y, _ := tensor.FromSlice(3, 2, []float64{2, -1, 0.5, 4, 1, -0.5})
+	xs, ys := env.shareN(t, x, 2), env.shareN(t, y, 2)
+	tr := env.tripleN(t, 2, 2, 3, 3, 2, true)
+	outs := runHbC(t, env, func(ctx *HbCCtx, i int) (Mat, error) {
+		return SecMatMul(ctx, "hmm", xs[i], ys[i], tr[i], 1)
+	})
+	got, err := sharing.Reconstruct(outs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := x.MatMul(y)
+	floatsClose(t, env.params, got, want, 16)
+}
+
+func TestHbCSecComp(t *testing.T) {
+	env := newHbCEnv(t, 2)
+	x, _ := tensor.FromSlice(1, 4, []float64{1, -1, 0, 7})
+	y, _ := tensor.FromSlice(1, 4, []float64{0, 1, 0, -7})
+	xs, ys := env.shareN(t, x, 2), env.shareN(t, y, 2)
+	// Auxiliary positive t.
+	tm := tensor.MustNew[float64](1, 4)
+	for i := range tm.Data {
+		tm.Data[i] = 0.5 + float64(i)
+	}
+	ts := env.shareN(t, tm, 2)
+	tr := env.tripleN(t, 2, 1, 4, 1, 4, false)
+	signs := runHbC(t, env, func(ctx *HbCCtx, i int) (Mat, error) {
+		return SecComp(ctx, "hcmp", xs[i], ys[i], ts[i], tr[i], 2)
+	})
+	want := []int64{1, -1, 0, 1}
+	for p := range signs {
+		for i, w := range want {
+			if signs[p].Data[i] != w {
+				t.Fatalf("party %d element %d: %d, want %d", p+1, i, signs[p].Data[i], w)
+			}
+		}
+	}
+}
+
+func TestHbCReveal(t *testing.T) {
+	env := newHbCEnv(t, 3)
+	x, _ := tensor.FromSlice(1, 2, []float64{42, -7})
+	xs := env.shareN(t, x, 3)
+	vals := runHbC(t, env, func(ctx *HbCCtx, i int) (Mat, error) {
+		return Reveal(ctx, "rev", xs[i], 3)
+	})
+	for p := range vals {
+		floatsClose(t, env.params, vals[p], x, 2)
+	}
+}

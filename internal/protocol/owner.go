@@ -1,0 +1,479 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// Step labels of the owner-facing wire protocol.
+const (
+	stepTripleHadamard = "triple-had"
+	stepTripleMatMul   = "triple-mat"
+	stepAuxPositive    = "aux-pos"
+	stepShutdown       = "shutdown"
+	respSuffix         = "/resp"
+	fnPrefix           = "fn/"
+	sinkPrefix         = "sink/"
+)
+
+// UnaryFunc evaluates a delegated plaintext function at the owner
+// (e.g. softmax, §III-C).
+type UnaryFunc func(Mat) (Mat, error)
+
+// SinkFunc consumes a value revealed to the owner (e.g. the predicted
+// label delivered to the data owner, or trained weights delivered to
+// the model owner).
+type SinkFunc func(session string, value Mat, dec sharing.Decision)
+
+// OwnerStats summarizes one owner service run.
+type OwnerStats struct {
+	// TriplesDealt counts Beaver triples and auxiliary matrices dealt.
+	TriplesDealt int
+	// Calls counts delegated function evaluations.
+	Calls int
+	// Suspicions counts, per party, how often the owner's decision rule
+	// found that party's reconstructions deviating (index 0 unused).
+	Suspicions [sharing.NumParties + 1]int
+}
+
+// OwnerService runs the request loop of a trusted owner actor: it deals
+// Beaver triples and auxiliary values on demand (model-owner role,
+// §III-A), evaluates delegated functions over validated reconstructions
+// (softmax, §III-C), and accepts revealed values. Both the model owner
+// and the data owner instantiate it with their own handler sets.
+type OwnerService struct {
+	ep     transport.Endpoint
+	dealer *sharing.Dealer
+	fns    map[string]UnaryFunc
+	sinks  map[string]SinkFunc
+
+	// GatherTimeout bounds how long the owner waits for the remaining
+	// parties once the first bundle of a session arrived; afterwards it
+	// proceeds with zero-filled, flagged placeholders (guaranteed
+	// output delivery despite a silent Byzantine party).
+	GatherTimeout time.Duration
+	// SuspicionTolerance is the max raw-ring deviation an honest
+	// reconstruction may show (fixed-point truncation slack).
+	SuspicionTolerance float64
+
+	mu      sync.Mutex
+	stats   OwnerStats
+	triples map[string]*tripleEntry
+	gathers map[string]*gatherEntry
+}
+
+type tripleEntry struct {
+	bundles [sharing.NumParties]sharing.TripleBundle
+	aux     [sharing.NumParties]sharing.Bundle
+	isAux   bool
+	replied int
+}
+
+type gatherEntry struct {
+	step      string
+	bundles   map[int]sharing.Bundle
+	firstSeen time.Time
+}
+
+// NewOwnerService creates a service on ep dealing shares via dealer.
+func NewOwnerService(ep transport.Endpoint, dealer *sharing.Dealer) *OwnerService {
+	return &OwnerService{
+		ep:                 ep,
+		dealer:             dealer,
+		fns:                make(map[string]UnaryFunc),
+		sinks:              make(map[string]SinkFunc),
+		GatherTimeout:      party1GatherTimeout,
+		SuspicionTolerance: 16,
+		triples:            make(map[string]*tripleEntry),
+		gathers:            make(map[string]*gatherEntry),
+	}
+}
+
+const party1GatherTimeout = 2 * time.Second
+
+// RegisterUnary installs a delegated function under name.
+func (s *OwnerService) RegisterUnary(name string, fn UnaryFunc) {
+	s.fns[name] = fn
+}
+
+// RegisterSink installs a reveal handler under name.
+func (s *OwnerService) RegisterSink(name string, fn SinkFunc) {
+	s.sinks[name] = fn
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *OwnerService) Stats() OwnerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Run serves requests until a shutdown message arrives or the endpoint
+// closes. It is typically run on its own goroutine; Shutdown (from any
+// actor) or closing the network stops it.
+func (s *OwnerService) Run() error {
+	const poll = 25 * time.Millisecond
+	for {
+		msg, err := s.ep.Recv(poll)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				s.expireGathers()
+				continue
+			}
+			if errors.Is(err, transport.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if msg.Step == stepShutdown {
+			return nil
+		}
+		if err := s.dispatch(msg); err != nil {
+			return fmt.Errorf("protocol: owner %s handling %q/%q from %s: %w",
+				transport.ActorName(s.ep.Self()), msg.Session, msg.Step, transport.ActorName(msg.From), err)
+		}
+		s.expireGathers()
+	}
+}
+
+// Shutdown asks the service attached to actor `owner` to stop.
+func Shutdown(ep transport.Endpoint, owner int) error {
+	return ep.Send(transport.Message{To: owner, Step: stepShutdown})
+}
+
+func (s *OwnerService) dispatch(msg transport.Message) error {
+	switch {
+	case msg.Step == stepTripleHadamard || msg.Step == stepTripleMatMul || msg.Step == stepAuxPositive:
+		return s.handleDeal(msg)
+	case strings.HasPrefix(msg.Step, fnPrefix):
+		return s.handleGather(msg)
+	case strings.HasPrefix(msg.Step, sinkPrefix):
+		return s.handleGather(msg)
+	default:
+		// Unknown steps are ignored: a Byzantine party must not be able
+		// to crash the owner with garbage.
+		return nil
+	}
+}
+
+func (s *OwnerService) handleDeal(msg transport.Message) error {
+	from := msg.From
+	if from < 1 || from > sharing.NumParties {
+		return nil // only computing parties may request triples
+	}
+	key := msg.Session + "|" + msg.Step
+	s.mu.Lock()
+	entry, ok := s.triples[key]
+	s.mu.Unlock()
+	if !ok {
+		var err error
+		entry, err = s.deal(msg.Step, msg.Payload)
+		if err != nil {
+			// Malformed dims from a (possibly Byzantine) party: ignore.
+			return nil
+		}
+		s.mu.Lock()
+		if existing, raced := s.triples[key]; raced {
+			entry = existing
+		} else {
+			s.triples[key] = entry
+			s.stats.TriplesDealt++
+		}
+		s.mu.Unlock()
+	}
+
+	var payload []byte
+	if entry.isAux {
+		payload = transport.EncodeBundle(entry.aux[from-1])
+	} else {
+		t := entry.bundles[from-1]
+		payload = transport.EncodeBundles(t.A, t.B, t.C)
+	}
+	if err := s.ep.Send(transport.Message{To: from, Session: msg.Session, Step: msg.Step + respSuffix, Payload: payload}); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	entry.replied++
+	if entry.replied >= sharing.NumParties {
+		delete(s.triples, key)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *OwnerService) deal(step string, payload []byte) (*tripleEntry, error) {
+	dims, err := decodeDims(payload)
+	if err != nil {
+		return nil, err
+	}
+	switch step {
+	case stepTripleHadamard:
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("protocol: hadamard triple needs 2 dims, got %d", len(dims))
+		}
+		ts, err := s.dealer.HadamardTriple(dims[0], dims[1])
+		if err != nil {
+			return nil, err
+		}
+		return &tripleEntry{bundles: ts}, nil
+	case stepTripleMatMul:
+		if len(dims) != 3 {
+			return nil, fmt.Errorf("protocol: matmul triple needs 3 dims, got %d", len(dims))
+		}
+		ts, err := s.dealer.MatMulTriple(dims[0], dims[1], dims[2])
+		if err != nil {
+			return nil, err
+		}
+		return &tripleEntry{bundles: ts}, nil
+	case stepAuxPositive:
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("protocol: aux matrix needs 2 dims, got %d", len(dims))
+		}
+		bs, err := s.dealer.AuxPositive(dims[0], dims[1])
+		if err != nil {
+			return nil, err
+		}
+		return &tripleEntry{aux: bs, isAux: true}, nil
+	default:
+		return nil, fmt.Errorf("protocol: unknown deal step %q", step)
+	}
+}
+
+func (s *OwnerService) handleGather(msg transport.Message) error {
+	from := msg.From
+	if from < 1 || from > sharing.NumParties {
+		return nil
+	}
+	bundle, err := transport.DecodeBundle(msg.Payload)
+	if err != nil {
+		return nil // corrupted payload: the gather timeout will flag it
+	}
+	s.mu.Lock()
+	g, ok := s.gathers[msg.Session+"|"+msg.Step]
+	if !ok {
+		g = &gatherEntry{step: msg.Step, bundles: make(map[int]sharing.Bundle, sharing.NumParties), firstSeen: time.Now()}
+		s.gathers[msg.Session+"|"+msg.Step] = g
+	}
+	g.bundles[from] = bundle
+	complete := len(g.bundles) == sharing.NumParties
+	if complete {
+		delete(s.gathers, msg.Session+"|"+msg.Step)
+	}
+	s.mu.Unlock()
+	if complete {
+		return s.finishGather(msg.Session, g)
+	}
+	return nil
+}
+
+func (s *OwnerService) expireGathers() {
+	s.mu.Lock()
+	var due []struct {
+		session string
+		g       *gatherEntry
+	}
+	for key, g := range s.gathers {
+		if time.Since(g.firstSeen) >= s.GatherTimeout && len(g.bundles) >= sharing.NumParties-1 {
+			session := key[:strings.LastIndex(key, "|")]
+			due = append(due, struct {
+				session string
+				g       *gatherEntry
+			}{session, g})
+			delete(s.gathers, key)
+		}
+	}
+	s.mu.Unlock()
+	for _, d := range due {
+		// Errors here would already have been surfaced by Run for
+		// complete gathers; keep serving on best effort.
+		_ = s.finishGather(d.session, d.g)
+	}
+}
+
+func (s *OwnerService) finishGather(session string, g *gatherEntry) error {
+	// Assemble bundles, zero-filling and flagging absent parties.
+	var shape sharing.Bundle
+	for _, b := range g.bundles {
+		shape = b
+		break
+	}
+	var per [sharing.NumParties]sharing.Bundle
+	var missing []int
+	for p := 1; p <= sharing.NumParties; p++ {
+		if b, ok := g.bundles[p]; ok {
+			per[p-1] = b
+		} else {
+			per[p-1] = zeroBundlesLike([]sharing.Bundle{shape})[0]
+			missing = append(missing, p)
+		}
+	}
+	sets, err := sharing.CollectSets(per)
+	if err != nil {
+		return err
+	}
+	rec, err := sharing.ReconstructSix(sets)
+	if err != nil {
+		return err
+	}
+	for _, p := range missing {
+		rec.FlagParty(p)
+	}
+	value, dec, err := rec.Decide()
+	if err != nil {
+		return err
+	}
+	if suspect := rec.Suspect(value, s.SuspicionTolerance); suspect != 0 {
+		s.mu.Lock()
+		s.stats.Suspicions[suspect]++
+		s.mu.Unlock()
+	}
+
+	switch {
+	case strings.HasPrefix(g.step, sinkPrefix):
+		if fn, ok := s.sinks[strings.TrimPrefix(g.step, sinkPrefix)]; ok {
+			fn(session, value, dec)
+		}
+		return nil
+	case strings.HasPrefix(g.step, fnPrefix):
+		fn, ok := s.fns[strings.TrimPrefix(g.step, fnPrefix)]
+		if !ok {
+			return fmt.Errorf("protocol: no delegated function %q", g.step)
+		}
+		out, err := fn(value)
+		if err != nil {
+			return fmt.Errorf("protocol: delegated %q: %w", g.step, err)
+		}
+		s.mu.Lock()
+		s.stats.Calls++
+		s.mu.Unlock()
+		bundles, err := s.dealer.Share(out)
+		if err != nil {
+			return err
+		}
+		for p := 1; p <= sharing.NumParties; p++ {
+			err := s.ep.Send(transport.Message{
+				To:      p,
+				Session: session,
+				Step:    g.step + respSuffix,
+				Payload: transport.EncodeBundle(bundles[p-1]),
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("protocol: unexpected gather step %q", g.step)
+	}
+}
+
+// --- Party-side client calls ---
+
+// RequestHadamardTriple asks the model owner for an element-wise Beaver
+// triple. All three parties must request the same session.
+func RequestHadamardTriple(ctx *Ctx, session string, rows, cols int) (sharing.TripleBundle, error) {
+	payload := encodeDims(rows, cols)
+	if err := ctx.Router.Send(transport.ModelOwner, session, stepTripleHadamard, payload); err != nil {
+		return sharing.TripleBundle{}, err
+	}
+	msg, err := ctx.Router.Expect(transport.ModelOwner, session, stepTripleHadamard+respSuffix)
+	if err != nil {
+		return sharing.TripleBundle{}, err
+	}
+	return decodeTriple(msg.Payload)
+}
+
+// RequestMatMulTriple asks the model owner for a matrix-product Beaver
+// triple with a m×n and b n×p.
+func RequestMatMulTriple(ctx *Ctx, session string, m, n, p int) (sharing.TripleBundle, error) {
+	payload := encodeDims(m, n, p)
+	if err := ctx.Router.Send(transport.ModelOwner, session, stepTripleMatMul, payload); err != nil {
+		return sharing.TripleBundle{}, err
+	}
+	msg, err := ctx.Router.Expect(transport.ModelOwner, session, stepTripleMatMul+respSuffix)
+	if err != nil {
+		return sharing.TripleBundle{}, err
+	}
+	return decodeTriple(msg.Payload)
+}
+
+// RequestAuxPositive asks the model owner for the auxiliary positive
+// matrix consumed by SecComp-BT.
+func RequestAuxPositive(ctx *Ctx, session string, rows, cols int) (sharing.Bundle, error) {
+	payload := encodeDims(rows, cols)
+	if err := ctx.Router.Send(transport.ModelOwner, session, stepAuxPositive, payload); err != nil {
+		return sharing.Bundle{}, err
+	}
+	msg, err := ctx.Router.Expect(transport.ModelOwner, session, stepAuxPositive+respSuffix)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	return transport.DecodeBundle(msg.Payload)
+}
+
+// CallOwner evaluates the delegated function `name` at actor `owner`
+// over a shared argument and returns this party's bundle of the result
+// (the softmax delegation path of §III-C). A Byzantine party corrupts
+// what it sends to the owner too; the owner's decision rule recovers.
+func CallOwner(ctx *Ctx, owner int, name, session string, arg sharing.Bundle) (sharing.Bundle, error) {
+	step := fnPrefix + name
+	if ctx.Adversary != nil {
+		arg = ctx.Adversary.CorruptPreCommit(session, step, []sharing.Bundle{arg.Clone()})[0]
+	}
+	if err := ctx.Router.Send(owner, session, step, transport.EncodeBundle(arg)); err != nil {
+		return sharing.Bundle{}, err
+	}
+	msg, err := ctx.Router.Expect(owner, session, step+respSuffix)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	return transport.DecodeBundle(msg.Payload)
+}
+
+// SendToSink reveals a shared value to actor `owner` under sink `name`
+// (predictions to the data owner, trained weights to the model owner).
+// Byzantine corruption applies here as well.
+func SendToSink(ctx *Ctx, owner int, name, session string, arg sharing.Bundle) error {
+	if ctx.Adversary != nil {
+		arg = ctx.Adversary.CorruptPreCommit(session, sinkPrefix+name, []sharing.Bundle{arg.Clone()})[0]
+	}
+	return ctx.Router.Send(owner, session, sinkPrefix+name, transport.EncodeBundle(arg))
+}
+
+func decodeTriple(payload []byte) (sharing.TripleBundle, error) {
+	bs, err := transport.DecodeBundles(payload, 3)
+	if err != nil {
+		return sharing.TripleBundle{}, err
+	}
+	return sharing.TripleBundle{A: bs[0], B: bs[1], C: bs[2]}, nil
+}
+
+func encodeDims(dims ...int) []byte {
+	buf := make([]byte, 0, 4*len(dims))
+	for _, d := range dims {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+	}
+	return buf
+}
+
+func decodeDims(buf []byte) ([]int, error) {
+	if len(buf) == 0 || len(buf)%4 != 0 {
+		return nil, fmt.Errorf("protocol: malformed dims payload (%d bytes)", len(buf))
+	}
+	out := make([]int, len(buf)/4)
+	for i := range out {
+		v := binary.LittleEndian.Uint32(buf[4*i:])
+		if v == 0 || v > (1<<24) {
+			return nil, fmt.Errorf("protocol: implausible dimension %d", v)
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}

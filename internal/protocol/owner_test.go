@@ -1,0 +1,218 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/tensor"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// ownerEnv wires three party contexts plus a running owner service.
+type ownerEnv struct {
+	*partyEnv
+
+	svc     *OwnerService
+	ownerEP transport.Endpoint
+	done    chan error
+}
+
+func newOwnerEnv(t *testing.T) *ownerEnv {
+	t.Helper()
+	env := newPartyEnv(t, true)
+	ep, err := env.net.Endpoint(transport.ModelOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewOwnerService(ep, env.dealer)
+	svc.GatherTimeout = 300 * time.Millisecond
+	oe := &ownerEnv{partyEnv: env, svc: svc, ownerEP: ep, done: make(chan error, 1)}
+	go func() { oe.done <- svc.Run() }()
+	t.Cleanup(func() {
+		shutter, err := env.net.Endpoint(transport.DataOwner)
+		if err == nil {
+			_ = Shutdown(shutter, transport.ModelOwner)
+		}
+		select {
+		case err := <-oe.done:
+			if err != nil {
+				t.Errorf("owner service: %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Error("owner service did not stop")
+		}
+	})
+	return oe
+}
+
+func TestOwnerDealsTriples(t *testing.T) {
+	env := newOwnerEnv(t)
+	x, _ := tensor.FromSlice(2, 2, []float64{1, 2, 3, 4})
+	y, _ := tensor.FromSlice(2, 2, []float64{5, 6, 7, 8})
+	bx, by := shareFloats(t, env.partyEnv, x), shareFloats(t, env.partyEnv, y)
+	outs := runAll(t, env.partyEnv, func(ctx *Ctx) (sharing.Bundle, error) {
+		triple, err := RequestHadamardTriple(ctx, "op7", 2, 2)
+		if err != nil {
+			return sharing.Bundle{}, err
+		}
+		return SecMulBT(ctx, "op7", bx[ctx.Index-1], by[ctx.Index-1], triple)
+	})
+	want, _ := x.Hadamard(y)
+	floatsClose(t, env.params, decideBundles(t, outs, nil), want, 8)
+	if st := env.svc.Stats(); st.TriplesDealt != 1 {
+		t.Fatalf("triples dealt = %d, want 1 (one per shared session)", st.TriplesDealt)
+	}
+}
+
+func TestOwnerDealsMatMulTripleAndAux(t *testing.T) {
+	env := newOwnerEnv(t)
+	x, _ := tensor.FromSlice(1, 2, []float64{3, -1})
+	y, _ := tensor.FromSlice(2, 1, []float64{2, 4})
+	bx, by := shareFloats(t, env.partyEnv, x), shareFloats(t, env.partyEnv, y)
+	outs := runAll(t, env.partyEnv, func(ctx *Ctx) (sharing.Bundle, error) {
+		triple, err := RequestMatMulTriple(ctx, "mm9", 1, 2, 1)
+		if err != nil {
+			return sharing.Bundle{}, err
+		}
+		return SecMatMulBT(ctx, "mm9", bx[ctx.Index-1], by[ctx.Index-1], triple)
+	})
+	want, _ := x.MatMul(y)
+	floatsClose(t, env.params, decideBundles(t, outs, nil), want, 16)
+
+	// Aux request path.
+	signs := runAll(t, env.partyEnv, func(ctx *Ctx) (Mat, error) {
+		aux, err := RequestAuxPositive(ctx, "cmp9", 1, 2)
+		if err != nil {
+			return Mat{}, err
+		}
+		triple, err := RequestHadamardTriple(ctx, "cmp9", 1, 2)
+		if err != nil {
+			return Mat{}, err
+		}
+		return SecCompBT(ctx, "cmp9", bx[ctx.Index-1], bx[ctx.Index-1], aux, triple)
+	})
+	for p := 0; p < sharing.NumParties; p++ {
+		for i := range signs[p].Data {
+			if signs[p].Data[i] != 0 {
+				t.Fatalf("x vs x sign element %d = %d, want 0", i, signs[p].Data[i])
+			}
+		}
+	}
+}
+
+func TestOwnerDelegatedUnary(t *testing.T) {
+	env := newOwnerEnv(t)
+	// Register a toy delegated function: negate every element.
+	env.svc.RegisterUnary("neg", func(m Mat) (Mat, error) {
+		return m.Neg(), nil
+	})
+	x, _ := tensor.FromSlice(1, 3, []float64{1, -2, 3})
+	bx := shareFloats(t, env.partyEnv, x)
+	outs := runAll(t, env.partyEnv, func(ctx *Ctx) (sharing.Bundle, error) {
+		return CallOwner(ctx, transport.ModelOwner, "neg", "neg1", bx[ctx.Index-1])
+	})
+	want := x.Neg()
+	floatsClose(t, env.params, decideBundles(t, outs, nil), want, 2)
+	if st := env.svc.Stats(); st.Calls != 1 {
+		t.Fatalf("delegated calls = %d, want 1", st.Calls)
+	}
+}
+
+func TestOwnerSink(t *testing.T) {
+	env := newOwnerEnv(t)
+	got := make(chan Mat, 1)
+	env.svc.RegisterSink("result", func(_ string, value Mat, _ sharing.Decision) {
+		got <- value
+	})
+	x, _ := tensor.FromSlice(1, 2, []float64{9, -9})
+	bx := shareFloats(t, env.partyEnv, x)
+	runAll(t, env.partyEnv, func(ctx *Ctx) (struct{}, error) {
+		return struct{}{}, SendToSink(ctx, transport.ModelOwner, "result", "r1", bx[ctx.Index-1])
+	})
+	select {
+	case v := <-got:
+		floatsClose(t, env.params, v, x, 2)
+	case <-time.After(2 * time.Second):
+		t.Fatal("sink never fired")
+	}
+}
+
+func TestOwnerGatherToleratesSilentParty(t *testing.T) {
+	// Only P1 and P2 contribute; the owner must proceed after the
+	// gather timeout with P3 flagged (guaranteed output delivery).
+	env := newOwnerEnv(t)
+	got := make(chan Mat, 1)
+	env.svc.RegisterSink("partial", func(_ string, value Mat, _ sharing.Decision) {
+		got <- value
+	})
+	x, _ := tensor.FromSlice(1, 2, []float64{4, 5})
+	bx := shareFloats(t, env.partyEnv, x)
+	for i := 0; i < 2; i++ {
+		if err := SendToSink(env.ctxs[i], transport.ModelOwner, "partial", "p1", bx[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case v := <-got:
+		floatsClose(t, env.params, v, x, 2)
+	case <-time.After(3 * time.Second):
+		t.Fatal("owner never completed the partial gather")
+	}
+	if st := env.svc.Stats(); st.Suspicions[3] == 0 {
+		t.Fatal("owner did not suspect the silent P3")
+	}
+}
+
+func TestOwnerSuspectsCorruptingParty(t *testing.T) {
+	env := newOwnerEnv(t)
+	got := make(chan Mat, 1)
+	env.svc.RegisterSink("chk", func(_ string, value Mat, _ sharing.Decision) {
+		got <- value
+	})
+	x, _ := tensor.FromSlice(1, 2, []float64{6, 7})
+	bx := shareFloats(t, env.partyEnv, x)
+	const byz = 2
+	bad := bx[byz-1].Clone()
+	for i := range bad.Primary.Data {
+		bad.Primary.Data[i] += 1 << 40
+	}
+	bx[byz-1] = bad
+	runAll(t, env.partyEnv, func(ctx *Ctx) (struct{}, error) {
+		return struct{}{}, SendToSink(ctx, transport.ModelOwner, "chk", "c1", bx[ctx.Index-1])
+	})
+	select {
+	case v := <-got:
+		floatsClose(t, env.params, v, x, 2)
+	case <-time.After(2 * time.Second):
+		t.Fatal("sink never fired")
+	}
+	if st := env.svc.Stats(); st.Suspicions[byz] == 0 {
+		t.Fatalf("owner did not suspect the corrupting P%d (stats %+v)", byz, env.svc.Stats())
+	}
+}
+
+func TestOwnerIgnoresGarbage(t *testing.T) {
+	env := newOwnerEnv(t)
+	// Garbage requests from a party must not kill the service.
+	ctx := env.ctxs[0]
+	if err := ctx.Router.Send(transport.ModelOwner, "g", "triple-had", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Router.Send(transport.ModelOwner, "g", "nonsense-step", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Router.Send(transport.ModelOwner, "g", "fn/softmax", []byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	// The service must still answer a well-formed request afterwards.
+	x, _ := tensor.FromSlice(1, 1, []float64{1})
+	bx := shareFloats(t, env.partyEnv, x)
+	_ = bx
+	outs := runAll(t, env.partyEnv, func(ctx *Ctx) (sharing.TripleBundle, error) {
+		return RequestHadamardTriple(ctx, "ok1", 1, 1)
+	})
+	if outs[0].A.Primary.Size() != 1 {
+		t.Fatal("triple after garbage has wrong shape")
+	}
+}

@@ -1,0 +1,27 @@
+package protocol
+
+import (
+	"fmt"
+
+	"github.com/trustddl/trustddl/internal/tensor"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+func encodePair(a, b Mat) []byte {
+	return transport.EncodeMatrices(a, b)
+}
+
+func decodePair(buf []byte) ([]Mat, error) {
+	ms, err := transport.DecodeMatrices(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(ms) != 2 {
+		return nil, fmt.Errorf("protocol: expected 2 matrices, got %d", len(ms))
+	}
+	return ms, nil
+}
+
+func zeroLike(m Mat) Mat {
+	return tensor.Matrix[int64]{Rows: m.Rows, Cols: m.Cols, Data: make([]int64, m.Size())}
+}

@@ -1,0 +1,175 @@
+package sharing
+
+import (
+	"fmt"
+
+	"github.com/trustddl/trustddl/internal/fixed"
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+// Dealer implements the trusted share-creation role that the paper
+// assigns to the data owner (inputs, labels) and the model owner
+// (weights, Beaver triples, auxiliary positive matrices) — §III-A.
+//
+// For every secret the dealer creates three independent 2-additive
+// share sets of the same underlying value and distributes them as the
+// per-party bundles of Fig. 1. The same value must back all three sets:
+// the BT protocols reconstruct one masked value per multiplication and
+// reuse it across all sets' share computations, which is only correct
+// when the sets agree.
+type Dealer struct {
+	src    Source
+	params fixed.Params
+}
+
+// NewDealer returns a dealer drawing share randomness from src and
+// encoding reals with params.
+func NewDealer(src Source, params fixed.Params) *Dealer {
+	return &Dealer{src: src, params: params}
+}
+
+// Params exposes the dealer's fixed-point configuration.
+func (d *Dealer) Params() fixed.Params { return d.params }
+
+// Share splits a ring-domain secret into the three per-party bundles.
+func (d *Dealer) Share(s Mat) ([NumParties]Bundle, error) {
+	var bundles [NumParties]Bundle
+	if s.IsZeroShape() {
+		return bundles, fmt.Errorf("sharing: cannot share an empty matrix")
+	}
+	// Three independent 2-additive sharings of the same value.
+	var sets [NumParties][]Mat
+	for j := 0; j < NumParties; j++ {
+		shares, err := CreateShares(d.src, s, 2)
+		if err != nil {
+			return bundles, err
+		}
+		sets[j] = shares
+	}
+	for i := 1; i <= NumParties; i++ {
+		i1, i2, i3 := SetsOf(i)
+		bundles[i-1] = Bundle{
+			Primary: sets[i1-1][0].Clone(),
+			Hat:     sets[i2-1][0].Clone(),
+			Second:  sets[i3-1][1].Clone(),
+		}
+	}
+	return bundles, nil
+}
+
+// ShareFloats encodes a float64 matrix into the ring and shares it.
+func (d *Dealer) ShareFloats(m tensor.Matrix[float64]) ([NumParties]Bundle, error) {
+	enc := tensor.Matrix[int64]{Rows: m.Rows, Cols: m.Cols, Data: make([]int64, m.Size())}
+	for i, v := range m.Data {
+		enc.Data[i] = d.params.FromFloat(v)
+	}
+	return d.Share(enc)
+}
+
+// TripleKind distinguishes Beaver triples for element-wise
+// multiplication (SecMul-BT) from matrix-product triples (SecMatMul-BT).
+type TripleKind int
+
+// Triple kinds.
+const (
+	// TripleHadamard backs element-wise multiplication: a, b, c share
+	// one shape and c = a ⊙ b in the ring.
+	TripleHadamard TripleKind = iota + 1
+	// TripleMatMul backs matrix multiplication: a is m×n, b is n×p and
+	// c = a × b in the ring.
+	TripleMatMul
+)
+
+// TripleBundle is one party's slice of a Beaver triple: bundles for a,
+// b and c under the three-set scheme.
+type TripleBundle struct {
+	A Bundle
+	B Bundle
+	C Bundle
+}
+
+// HadamardTriple deals a fresh element-wise Beaver triple of the given
+// shape. a and b are uniform ring matrices (perfectly masking the
+// multiplication operands) and c is their exact ring Hadamard product,
+// carrying doubled fixed-point scale just like the product it masks.
+func (d *Dealer) HadamardTriple(rows, cols int) ([NumParties]TripleBundle, error) {
+	a, err := d.uniform(rows, cols)
+	if err != nil {
+		return [NumParties]TripleBundle{}, err
+	}
+	b, err := d.uniform(rows, cols)
+	if err != nil {
+		return [NumParties]TripleBundle{}, err
+	}
+	c, err := a.Hadamard(b)
+	if err != nil {
+		return [NumParties]TripleBundle{}, err
+	}
+	return d.shareTriple(a, b, c)
+}
+
+// MatMulTriple deals a fresh matrix-product Beaver triple with a of
+// shape m×n and b of shape n×p.
+func (d *Dealer) MatMulTriple(m, n, p int) ([NumParties]TripleBundle, error) {
+	a, err := d.uniform(m, n)
+	if err != nil {
+		return [NumParties]TripleBundle{}, err
+	}
+	b, err := d.uniform(n, p)
+	if err != nil {
+		return [NumParties]TripleBundle{}, err
+	}
+	c, err := a.MatMul(b)
+	if err != nil {
+		return [NumParties]TripleBundle{}, err
+	}
+	return d.shareTriple(a, b, c)
+}
+
+// AuxPositive deals shares of a matrix t of random positive reals used
+// by SecComp-BT to mask the sign comparison: sign(t·(x−y)) = sign(x−y)
+// because every element of t is positive (§II). Elements are drawn
+// uniformly from [0.5, 8); reconstructing t·(x−y) therefore reveals the
+// comparison magnitude only up to that factor, matching the leakage the
+// paper accepts for its comparison protocol.
+func (d *Dealer) AuxPositive(rows, cols int) ([NumParties]Bundle, error) {
+	t, err := tensor.New[int64](rows, cols)
+	if err != nil {
+		return [NumParties]Bundle{}, err
+	}
+	for i := range t.Data {
+		t.Data[i] = d.params.FromFloat(0.5 + 7.5*unitFloat(d.src))
+	}
+	return d.Share(t)
+}
+
+func (d *Dealer) uniform(rows, cols int) (Mat, error) {
+	m, err := tensor.New[int64](rows, cols)
+	if err != nil {
+		return Mat{}, err
+	}
+	for i := range m.Data {
+		m.Data[i] = ringElement(d.src)
+	}
+	return m, nil
+}
+
+func (d *Dealer) shareTriple(a, b, c Mat) ([NumParties]TripleBundle, error) {
+	var out [NumParties]TripleBundle
+	as, err := d.Share(a)
+	if err != nil {
+		return out, err
+	}
+	bs, err := d.Share(b)
+	if err != nil {
+		return out, err
+	}
+	cs, err := d.Share(c)
+	if err != nil {
+		return out, err
+	}
+	for i := 0; i < NumParties; i++ {
+		out[i] = TripleBundle{A: as[i], B: bs[i], C: cs[i]}
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package sharing
+
+import (
+	"fmt"
+
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+// Mat abbreviates the ring matrix type used throughout the protocols.
+type Mat = tensor.Matrix[int64]
+
+// CreateShares splits secret s into n additive shares (Algorithm 1 of
+// the paper): the first n−1 shares are uniform ring matrices and the
+// last is s minus their sum, so the shares sum to s in the ring and any
+// n−1 of them are jointly independent of s.
+func CreateShares(src Source, s Mat, n int) ([]Mat, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("sharing: need at least 2 shares, got %d", n)
+	}
+	if s.IsZeroShape() {
+		return nil, fmt.Errorf("sharing: cannot share an empty matrix")
+	}
+	shares := make([]Mat, n)
+	last := s.Clone()
+	for i := 0; i < n-1; i++ {
+		r := tensor.Matrix[int64]{Rows: s.Rows, Cols: s.Cols, Data: make([]int64, s.Size())}
+		for j := range r.Data {
+			r.Data[j] = ringElement(src)
+		}
+		shares[i] = r
+		if err := last.SubInPlace(r); err != nil {
+			return nil, err
+		}
+	}
+	shares[n-1] = last
+	return shares, nil
+}
+
+// Reconstruct sums additive shares back into the secret.
+func Reconstruct(shares ...Mat) (Mat, error) {
+	if len(shares) == 0 {
+		return Mat{}, fmt.Errorf("sharing: no shares to reconstruct")
+	}
+	out := shares[0].Clone()
+	for _, s := range shares[1:] {
+		if err := out.AddInPlace(s); err != nil {
+			return Mat{}, fmt.Errorf("sharing: reconstruct: %w", err)
+		}
+	}
+	return out, nil
+}

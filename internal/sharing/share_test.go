@@ -1,0 +1,172 @@
+package sharing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+func testMat(t *testing.T, rows, cols int, seed int64) Mat {
+	t.Helper()
+	m := tensor.MustNew[int64](rows, cols)
+	for i := range m.Data {
+		m.Data[i] = seed * int64(i+1) * 2654435761 % (1 << 40)
+	}
+	return m
+}
+
+func TestCreateSharesReconstruct(t *testing.T) {
+	src := NewSeededSource(1)
+	s := testMat(t, 3, 4, 7)
+	for _, n := range []int{2, 3, 5} {
+		shares, err := CreateShares(src, s, n)
+		if err != nil {
+			t.Fatalf("CreateShares(n=%d): %v", n, err)
+		}
+		if len(shares) != n {
+			t.Fatalf("got %d shares, want %d", len(shares), n)
+		}
+		got, err := Reconstruct(shares...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(s) {
+			t.Fatalf("n=%d: reconstruction differs from secret", n)
+		}
+	}
+}
+
+func TestCreateSharesErrors(t *testing.T) {
+	src := NewSeededSource(1)
+	if _, err := CreateShares(src, testMat(t, 1, 1, 1), 1); err == nil {
+		t.Fatal("n=1: want error")
+	}
+	if _, err := CreateShares(src, Mat{}, 2); err == nil {
+		t.Fatal("empty secret: want error")
+	}
+	if _, err := Reconstruct(); err == nil {
+		t.Fatal("no shares: want error")
+	}
+}
+
+func TestSharesLookRandom(t *testing.T) {
+	// Any n−1 shares must be independent of the secret; at minimum the
+	// first share of an all-zeros secret must not be all zeros.
+	src := NewSeededSource(42)
+	zero := tensor.MustNew[int64](4, 4)
+	shares, err := CreateShares(src, zero, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allZero := true
+	for _, v := range shares[0].Data {
+		if v != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		t.Fatal("first share of a zero secret is all zeros: shares are not masked")
+	}
+}
+
+func TestTwoSharingsOfSameSecretDiffer(t *testing.T) {
+	src := NewSeededSource(3)
+	s := testMat(t, 2, 2, 5)
+	a, err := CreateShares(src, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CreateShares(src, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Equal(b[0]) {
+		t.Fatal("independent sharings produced identical first shares")
+	}
+}
+
+// Property: sharing then reconstructing is the identity for any secret
+// and any share count in [2, 6].
+func TestPropertyShareReconstructIdentity(t *testing.T) {
+	src := NewSeededSource(99)
+	f := func(vals [8]int64, nRaw uint8) bool {
+		n := int(nRaw%5) + 2
+		s, err := tensor.FromSlice(2, 4, vals[:])
+		if err != nil {
+			return false
+		}
+		shares, err := CreateShares(src, s, n)
+		if err != nil {
+			return false
+		}
+		got, err := Reconstruct(shares...)
+		if err != nil {
+			return false
+		}
+		return got.Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: additive homomorphism — share-wise sums reconstruct to the
+// sum of the secrets (§II).
+func TestPropertyAdditiveHomomorphism(t *testing.T) {
+	src := NewSeededSource(7)
+	f := func(xs, ys [4]int64) bool {
+		x, _ := tensor.FromSlice(2, 2, xs[:])
+		y, _ := tensor.FromSlice(2, 2, ys[:])
+		sx, err := CreateShares(src, x, 2)
+		if err != nil {
+			return false
+		}
+		sy, err := CreateShares(src, y, 2)
+		if err != nil {
+			return false
+		}
+		z0, err := sx[0].Add(sy[0])
+		if err != nil {
+			return false
+		}
+		z1, err := sx[1].Add(sy[1])
+		if err != nil {
+			return false
+		}
+		got, err := Reconstruct(z0, z1)
+		if err != nil {
+			return false
+		}
+		want, _ := x.Add(y)
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCryptoSource(t *testing.T) {
+	var src CryptoSource
+	seen := make(map[uint64]bool, 600)
+	for i := 0; i < 600; i++ { // crosses the internal 4096-byte refill
+		seen[src.Uint64()] = true
+	}
+	if len(seen) < 599 {
+		t.Fatalf("crypto source produced %d distinct values out of 600", len(seen))
+	}
+}
+
+func TestSeededSourceDeterministic(t *testing.T) {
+	a, b := NewSeededSource(5), NewSeededSource(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("seeded sources with equal seeds diverged")
+		}
+	}
+	c := NewSeededSource(6)
+	if NewSeededSource(5).Uint64() == c.Uint64() {
+		t.Fatal("different seeds produced identical first draws")
+	}
+}

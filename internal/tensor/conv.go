@@ -1,0 +1,179 @@
+package tensor
+
+import "fmt"
+
+// ConvShape describes a 2-D convolution over a multi-channel image, as
+// used by the paper's Table I network (kernel 5×5, padding 2, stride 2,
+// 5 output channels over a 28×28 input).
+//
+// Images are stored as matrices with one row per input channel and H·W
+// columns (row-major spatial layout). Im2Col lowers the convolution to a
+// single matrix multiplication, which is exactly the form consumed by
+// SecMatMul-BT.
+type ConvShape struct {
+	InChannels int
+	Height     int
+	Width      int
+	Kernel     int
+	Stride     int
+	Pad        int
+}
+
+// Validate checks that the shape describes a realizable convolution.
+func (c ConvShape) Validate() error {
+	switch {
+	case c.InChannels <= 0 || c.Height <= 0 || c.Width <= 0:
+		return fmt.Errorf("tensor: conv input shape %dx%dx%d invalid", c.InChannels, c.Height, c.Width)
+	case c.Kernel <= 0 || c.Stride <= 0 || c.Pad < 0:
+		return fmt.Errorf("tensor: conv kernel=%d stride=%d pad=%d invalid", c.Kernel, c.Stride, c.Pad)
+	case c.Height+2*c.Pad < c.Kernel || c.Width+2*c.Pad < c.Kernel:
+		return fmt.Errorf("tensor: conv kernel %d larger than padded input %dx%d", c.Kernel, c.Height+2*c.Pad, c.Width+2*c.Pad)
+	}
+	return nil
+}
+
+// OutHeight returns the number of output rows.
+func (c ConvShape) OutHeight() int { return (c.Height+2*c.Pad-c.Kernel)/c.Stride + 1 }
+
+// OutWidth returns the number of output columns.
+func (c ConvShape) OutWidth() int { return (c.Width+2*c.Pad-c.Kernel)/c.Stride + 1 }
+
+// PatchSize returns the number of elements in one receptive field.
+func (c ConvShape) PatchSize() int { return c.InChannels * c.Kernel * c.Kernel }
+
+// Im2Col lowers img (InChannels × H·W) to a patch matrix with one row
+// per output position (OutH·OutW rows) and PatchSize columns. Padding
+// positions contribute zeros.
+func (c ConvShape) Im2Col(img Matrix[int64]) (Matrix[int64], error) {
+	return im2col(c, img)
+}
+
+// Im2ColFloat is Im2Col over the float64 domain (plaintext baseline).
+func (c ConvShape) Im2ColFloat(img Matrix[float64]) (Matrix[float64], error) {
+	return im2col(c, img)
+}
+
+func im2col[T Element](c ConvShape, img Matrix[T]) (Matrix[T], error) {
+	if err := c.Validate(); err != nil {
+		return Matrix[T]{}, err
+	}
+	if img.Rows != c.InChannels || img.Cols != c.Height*c.Width {
+		return Matrix[T]{}, fmt.Errorf("tensor: im2col image %dx%d does not match shape %dch %dx%d",
+			img.Rows, img.Cols, c.InChannels, c.Height, c.Width)
+	}
+	outH, outW := c.OutHeight(), c.OutWidth()
+	out := Matrix[T]{Rows: outH * outW, Cols: c.PatchSize(), Data: make([]T, outH*outW*c.PatchSize())}
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			row := out.Data[(oy*outW+ox)*out.Cols : (oy*outW+ox+1)*out.Cols]
+			idx := 0
+			for ch := 0; ch < c.InChannels; ch++ {
+				for ky := 0; ky < c.Kernel; ky++ {
+					iy := oy*c.Stride + ky - c.Pad
+					for kx := 0; kx < c.Kernel; kx++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if iy >= 0 && iy < c.Height && ix >= 0 && ix < c.Width {
+							row[idx] = img.Data[ch*c.Height*c.Width+iy*c.Width+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Col2Im scatter-adds a patch-matrix gradient (OutH·OutW × PatchSize)
+// back into image layout (InChannels × H·W). It is the adjoint of Im2Col
+// and implements the input-gradient path of the convolution backward
+// pass.
+func (c ConvShape) Col2Im(cols Matrix[int64]) (Matrix[int64], error) {
+	return col2im(c, cols)
+}
+
+// Col2ImFloat is Col2Im over the float64 domain.
+func (c ConvShape) Col2ImFloat(cols Matrix[float64]) (Matrix[float64], error) {
+	return col2im(c, cols)
+}
+
+func col2im[T Element](c ConvShape, cols Matrix[T]) (Matrix[T], error) {
+	if err := c.Validate(); err != nil {
+		return Matrix[T]{}, err
+	}
+	outH, outW := c.OutHeight(), c.OutWidth()
+	if cols.Rows != outH*outW || cols.Cols != c.PatchSize() {
+		return Matrix[T]{}, fmt.Errorf("tensor: col2im %dx%d does not match %d positions × %d patch",
+			cols.Rows, cols.Cols, outH*outW, c.PatchSize())
+	}
+	img := Matrix[T]{Rows: c.InChannels, Cols: c.Height * c.Width, Data: make([]T, c.InChannels*c.Height*c.Width)}
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			row := cols.Data[(oy*outW+ox)*cols.Cols : (oy*outW+ox+1)*cols.Cols]
+			idx := 0
+			for ch := 0; ch < c.InChannels; ch++ {
+				for ky := 0; ky < c.Kernel; ky++ {
+					iy := oy*c.Stride + ky - c.Pad
+					for kx := 0; kx < c.Kernel; kx++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if iy >= 0 && iy < c.Height && ix >= 0 && ix < c.Width {
+							img.Data[ch*c.Height*c.Width+iy*c.Width+ix] += row[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return img, nil
+}
+
+// Im2ColBatch lowers a batch matrix (one flattened image per row) into
+// a vertically stacked patch matrix of shape (B·OutH·OutW)×PatchSize.
+func Im2ColBatch[T Element](c ConvShape, x Matrix[T]) (Matrix[T], error) {
+	inLen := c.InChannels * c.Height * c.Width
+	if x.Cols != inLen {
+		return Matrix[T]{}, fmt.Errorf("tensor: im2col batch width %d, want %d", x.Cols, inLen)
+	}
+	positions := c.OutHeight() * c.OutWidth()
+	out := Matrix[T]{
+		Rows: x.Rows * positions,
+		Cols: c.PatchSize(),
+		Data: make([]T, x.Rows*positions*c.PatchSize()),
+	}
+	for s := 0; s < x.Rows; s++ {
+		img, err := FromSlice(c.InChannels, c.Height*c.Width, x.Data[s*inLen:(s+1)*inLen])
+		if err != nil {
+			return Matrix[T]{}, err
+		}
+		cols, err := im2col(c, img)
+		if err != nil {
+			return Matrix[T]{}, err
+		}
+		copy(out.Data[s*positions*out.Cols:(s+1)*positions*out.Cols], cols.Data)
+	}
+	return out, nil
+}
+
+// Col2ImBatch is the adjoint of Im2ColBatch: it folds a (B·P)×PatchSize
+// patch gradient back into a batch matrix B×(InChannels·H·W).
+func Col2ImBatch[T Element](c ConvShape, cols Matrix[T], batch int) (Matrix[T], error) {
+	positions := c.OutHeight() * c.OutWidth()
+	if cols.Rows != batch*positions || cols.Cols != c.PatchSize() {
+		return Matrix[T]{}, fmt.Errorf("tensor: col2im batch shape %dx%d unexpected", cols.Rows, cols.Cols)
+	}
+	inLen := c.InChannels * c.Height * c.Width
+	out := Matrix[T]{Rows: batch, Cols: inLen, Data: make([]T, batch*inLen)}
+	for s := 0; s < batch; s++ {
+		block, err := FromSlice(positions, c.PatchSize(), cols.Data[s*positions*cols.Cols:(s+1)*positions*cols.Cols])
+		if err != nil {
+			return Matrix[T]{}, err
+		}
+		img, err := col2im(c, block)
+		if err != nil {
+			return Matrix[T]{}, err
+		}
+		copy(out.Data[s*inLen:(s+1)*inLen], img.Data)
+	}
+	return out, nil
+}

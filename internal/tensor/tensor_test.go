@@ -1,0 +1,334 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadShapes(t *testing.T) {
+	tests := []struct {
+		rows, cols int
+	}{
+		{0, 3}, {3, 0}, {-1, 2}, {2, -1}, {0, 0},
+	}
+	for _, tt := range tests {
+		if _, err := New[int64](tt.rows, tt.cols); err == nil {
+			t.Errorf("New(%d, %d): want error", tt.rows, tt.cols)
+		}
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	m, err := FromSlice(2, 3, []int64{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(1, 2); got != 6 {
+		t.Fatalf("At(1,2) = %d, want 6", got)
+	}
+	if _, err := FromSlice(2, 2, []int64{1, 2, 3}); err == nil {
+		t.Fatal("FromSlice with wrong length: want error")
+	}
+}
+
+func TestFromSliceCopies(t *testing.T) {
+	data := []int64{1, 2, 3, 4}
+	m, err := FromSlice(2, 2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("FromSlice must copy its input")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a, _ := FromSlice(2, 2, []int64{1, 2, 3, 4})
+	b, _ := FromSlice(2, 2, []int64{10, 20, 30, 40})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromSlice(2, 2, []int64{11, 22, 33, 44})
+	if !sum.Equal(want) {
+		t.Fatalf("Add = %v, want %v", sum.Data, want.Data)
+	}
+	diff, err := sum.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Equal(a) {
+		t.Fatalf("Sub did not invert Add: %v", diff.Data)
+	}
+	if _, err := a.Add(MustNew[int64](3, 3)); err == nil {
+		t.Fatal("Add with shape mismatch: want error")
+	}
+}
+
+func TestAddDoesNotMutateOperands(t *testing.T) {
+	a, _ := FromSlice(1, 2, []int64{1, 2})
+	b, _ := FromSlice(1, 2, []int64{3, 4})
+	if _, err := a.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data[0] != 1 || b.Data[0] != 3 {
+		t.Fatal("Add mutated an operand")
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a, _ := FromSlice(2, 3, []int64{1, 2, 3, 4, 5, 6})
+	b, _ := FromSlice(3, 2, []int64{7, 8, 9, 10, 11, 12})
+	got, err := a.MatMul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromSlice(2, 2, []int64{58, 64, 139, 154})
+	if !got.Equal(want) {
+		t.Fatalf("MatMul = %v, want %v", got.Data, want.Data)
+	}
+	if _, err := a.MatMul(a); err == nil {
+		t.Fatal("MatMul with mismatched inner dims: want error")
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	id := MustNew[int64](3, 3)
+	for i := 0; i < 3; i++ {
+		id.Set(i, i, 1)
+	}
+	m, _ := FromSlice(3, 3, []int64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	got, err := m.MatMul(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("M × I != M")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromSlice(2, 3, []int64{1, 2, 3, 4, 5, 6})
+	mt := m.Transpose()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d, want 3x2", mt.Rows, mt.Cols)
+	}
+	if mt.At(2, 1) != 6 || mt.At(0, 1) != 4 {
+		t.Fatalf("transpose values wrong: %v", mt.Data)
+	}
+	if !mt.Transpose().Equal(m) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestHadamardAndScale(t *testing.T) {
+	a, _ := FromSlice(1, 3, []int64{2, -3, 4})
+	b, _ := FromSlice(1, 3, []int64{5, 6, -7})
+	got, err := a.Hadamard(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromSlice(1, 3, []int64{10, -18, -28})
+	if !got.Equal(want) {
+		t.Fatalf("Hadamard = %v, want %v", got.Data, want.Data)
+	}
+	if s := a.Scale(3); s.At(0, 1) != -9 {
+		t.Fatalf("Scale = %v", s.Data)
+	}
+	if n := a.Neg(); n.At(0, 2) != -4 {
+		t.Fatalf("Neg = %v", n.Data)
+	}
+}
+
+func TestReshape(t *testing.T) {
+	m, _ := FromSlice(2, 3, []int64{1, 2, 3, 4, 5, 6})
+	r, err := m.Reshape(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.At(2, 1) != 6 {
+		t.Fatalf("reshape lost ordering: %v", r.Data)
+	}
+	if _, err := m.Reshape(4, 2); err == nil {
+		t.Fatal("Reshape to wrong size: want error")
+	}
+	// Reshape must not alias the original storage.
+	r.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Reshape aliased storage")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a, _ := FromSlice(1, 3, []int64{10, 20, 30})
+	b, _ := FromSlice(1, 3, []int64{11, 18, 30})
+	got, err := a.MaxAbsDiff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("MaxAbsDiff = %v, want 2", got)
+	}
+	if d, _ := a.MaxAbsDiff(a); d != 0 {
+		t.Fatalf("self distance = %v, want 0", d)
+	}
+}
+
+func TestSumAndFill(t *testing.T) {
+	m := MustNew[int64](2, 2)
+	m.Fill(7)
+	if got := m.Sum(); got != 28 {
+		t.Fatalf("Sum = %d, want 28", got)
+	}
+}
+
+func TestFloatDomain(t *testing.T) {
+	a, _ := FromSlice(2, 2, []float64{1.5, 2.5, 3.5, 4.5})
+	b := a.Scale(2)
+	if b.At(1, 1) != 9 {
+		t.Fatalf("float Scale = %v", b.Data)
+	}
+	p, err := a.MatMul(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(0, 0) != 1.5*1.5+2.5*3.5 {
+		t.Fatalf("float MatMul = %v", p.Data)
+	}
+}
+
+// Property: (A + B) − B == A over the ring.
+func TestPropertyAddSubInverse(t *testing.T) {
+	f := func(xs, ys [6]int64) bool {
+		a, _ := FromSlice(2, 3, xs[:])
+		b, _ := FromSlice(2, 3, ys[:])
+		s, err := a.Add(b)
+		if err != nil {
+			return false
+		}
+		d, err := s.Sub(b)
+		if err != nil {
+			return false
+		}
+		return d.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (A×B)ᵀ == Bᵀ×Aᵀ.
+func TestPropertyMatMulTranspose(t *testing.T) {
+	f := func(xs [6]int64, ys [6]int64) bool {
+		// Keep entries small so products do not wrap (wrapping would
+		// still satisfy the identity in the ring, but keep it simple).
+		a := MustNew[int64](2, 3)
+		b := MustNew[int64](3, 2)
+		for i := range a.Data {
+			a.Data[i] = xs[i] % 1000
+			b.Data[i] = ys[i] % 1000
+		}
+		ab, err := a.MatMul(b)
+		if err != nil {
+			return false
+		}
+		btat, err := b.Transpose().MatMul(a.Transpose())
+		if err != nil {
+			return false
+		}
+		return ab.Transpose().Equal(btat)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MatMul distributes over Add: A×(B+C) == A×B + A×C.
+func TestPropertyMatMulDistributive(t *testing.T) {
+	f := func(xs, ys, zs [4]int64) bool {
+		a, _ := FromSlice(2, 2, xs[:])
+		b, _ := FromSlice(2, 2, ys[:])
+		c, _ := FromSlice(2, 2, zs[:])
+		bc, _ := b.Add(c)
+		left, err := a.MatMul(bc)
+		if err != nil {
+			return false
+		}
+		ab, _ := a.MatMul(b)
+		ac, _ := a.MatMul(c)
+		right, _ := ab.Add(ac)
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	m, _ := FromSlice(2, 4, []int64{1, 2, 3, 4, 5, 6, 7, 8})
+	got, err := Gather(m, []int{3, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromSlice(2, 3, []int64{4, 1, 4, 8, 5, 8})
+	if !got.Equal(want) {
+		t.Fatalf("Gather = %v", got.Data)
+	}
+	if _, err := Gather(m, []int{4}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := Gather(m, nil); err == nil {
+		t.Fatal("empty index accepted")
+	}
+}
+
+func TestScatterAdd(t *testing.T) {
+	m, _ := FromSlice(1, 3, []int64{10, 20, 30})
+	got, err := ScatterAdd(m, []int{2, 0, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromSlice(1, 4, []int64{20, 0, 40, 0})
+	if !got.Equal(want) {
+		t.Fatalf("ScatterAdd = %v", got.Data)
+	}
+	if _, err := ScatterAdd(m, []int{0, 1}, 4); err == nil {
+		t.Fatal("index count mismatch accepted")
+	}
+	if _, err := ScatterAdd(m, []int{0, 1, 9}, 4); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+// Property: <Gather(x, idx), y> == <x, ScatterAdd(y, idx, cols)> — the
+// adjoint identity the pooling backward pass relies on.
+func TestPropertyGatherScatterAdjoint(t *testing.T) {
+	f := func(vals [8]int64, seed uint8) bool {
+		x, _ := FromSlice(2, 4, vals[:])
+		idx := []int{int(seed) % 4, (int(seed) + 1) % 4, (int(seed) / 3) % 4}
+		g, err := Gather(x, idx)
+		if err != nil {
+			return false
+		}
+		y := g.Clone()
+		for i := range y.Data {
+			y.Data[i] = int64(i) - 3
+		}
+		s, err := ScatterAdd(y, idx, 4)
+		if err != nil {
+			return false
+		}
+		var left, right int64
+		for i := range g.Data {
+			left += g.Data[i] * y.Data[i]
+		}
+		for i := range x.Data {
+			right += x.Data[i] * s.Data[i]
+		}
+		return left == right
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

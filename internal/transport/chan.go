@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ChanNetwork is the in-process transport: every actor owns a buffered
+// inbox channel and Send is a metered channel write. It is the
+// substrate for tests, examples and the Table II microbenchmarks.
+type ChanNetwork struct {
+	meter meter
+
+	mu      sync.Mutex
+	inboxes map[int]chan Message
+	claimed map[int]bool
+	closed  bool
+	done    chan struct{} // closed by Close to unblock receivers
+}
+
+var _ Network = (*ChanNetwork)(nil)
+
+// inboxDepth bounds each actor's unread backlog. Protocol rounds are
+// small (a handful of messages per peer per round), but the softmax
+// delegation can queue one message per party per layer; 256 gives
+// generous headroom without unbounded growth.
+const inboxDepth = 256
+
+// NewChanNetwork creates an in-process network for the five TrustDDL
+// actors.
+func NewChanNetwork() *ChanNetwork {
+	n := &ChanNetwork{
+		inboxes: make(map[int]chan Message, NumActors),
+		claimed: make(map[int]bool, NumActors),
+		done:    make(chan struct{}),
+	}
+	for id := 1; id <= NumActors; id++ {
+		n.inboxes[id] = make(chan Message, inboxDepth)
+	}
+	return n
+}
+
+// Endpoint implements Network.
+func (n *ChanNetwork) Endpoint(actor int) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.inboxes[actor]; !ok {
+		return nil, fmt.Errorf("transport: unknown actor %d", actor)
+	}
+	if n.claimed[actor] {
+		return nil, fmt.Errorf("transport: actor %s already attached", ActorName(actor))
+	}
+	n.claimed[actor] = true
+	return &chanEndpoint{net: n, self: actor}, nil
+}
+
+// Stats implements Network.
+func (n *ChanNetwork) Stats() Stats { return n.meter.snapshot() }
+
+// ResetStats implements Network.
+func (n *ChanNetwork) ResetStats() { n.meter.reset() }
+
+// Close implements Network. Blocked receivers are unblocked with
+// ErrClosed.
+func (n *ChanNetwork) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.closed {
+		n.closed = true
+		close(n.done)
+	}
+	return nil
+}
+
+func (n *ChanNetwork) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+type chanEndpoint struct {
+	net  *ChanNetwork
+	self int
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (e *chanEndpoint) Self() int { return e.self }
+
+func (e *chanEndpoint) Send(msg Message) error {
+	if e.isClosed() || e.net.isClosed() {
+		return ErrClosed
+	}
+	msg.From = e.self
+	e.net.mu.Lock()
+	inbox, ok := e.net.inboxes[msg.To]
+	e.net.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: send to unknown actor %d", msg.To)
+	}
+	e.net.meter.record(msg)
+	inbox <- msg
+	return nil
+}
+
+func (e *chanEndpoint) Recv(timeout time.Duration) (Message, error) {
+	if e.isClosed() {
+		return Message{}, ErrClosed
+	}
+	e.net.mu.Lock()
+	inbox := e.net.inboxes[e.self]
+	e.net.mu.Unlock()
+	if timeout <= 0 {
+		select {
+		case msg := <-inbox:
+			return msg, nil
+		case <-e.net.done:
+			return Message{}, ErrClosed
+		}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case msg := <-inbox:
+		return msg, nil
+	case <-e.net.done:
+		return Message{}, ErrClosed
+	case <-timer.C:
+		return Message{}, ErrTimeout
+	}
+}
+
+func (e *chanEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	return nil
+}
+
+func (e *chanEndpoint) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}

@@ -1,0 +1,27 @@
+package transport
+
+// SendInterceptor inspects and rewrites an outbound message. Returning
+// nil drops the message. Interceptors are how the Byzantine adversary
+// library (internal/byzantine) injects corrupted shares, equivocation,
+// delays and message loss without the protocol code knowing.
+type SendInterceptor func(msg Message) *Message
+
+// Intercepted wraps ep so that every Send first flows through fn.
+func Intercepted(ep Endpoint, fn SendInterceptor) Endpoint {
+	return &interceptedEndpoint{Endpoint: ep, fn: fn}
+}
+
+type interceptedEndpoint struct {
+	Endpoint
+
+	fn SendInterceptor
+}
+
+func (e *interceptedEndpoint) Send(msg Message) error {
+	msg.From = e.Self()
+	out := e.fn(msg)
+	if out == nil {
+		return nil // silently dropped: the receiver's timer handles it
+	}
+	return e.Endpoint.Send(*out)
+}

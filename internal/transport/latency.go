@@ -1,0 +1,96 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// WithLatency wraps a network so that every delivery is delayed by the
+// given one-way latency — a simulated WAN for sensitivity experiments.
+// The paper's testbed ran on a LAN between four machines; this wrapper
+// lets the Table II microbenchmarks be replayed under realistic
+// cross-datacenter delays without real infrastructure.
+//
+// Sends return immediately; deliveries happen in send order after the
+// propagation delay (pipelined sends overlap their latencies, as on a
+// real link, and FIFO order per sender is preserved). Bandwidth
+// simulation is out of scope — the byte meter already reports volume.
+func WithLatency(n Network, d time.Duration) Network {
+	if d <= 0 {
+		return n
+	}
+	return &latentNetwork{Network: n, delay: d}
+}
+
+type latentNetwork struct {
+	Network
+
+	delay time.Duration
+}
+
+func (l *latentNetwork) Endpoint(actor int) (Endpoint, error) {
+	ep, err := l.Network.Endpoint(actor)
+	if err != nil {
+		return nil, err
+	}
+	le := &latentEndpoint{
+		Endpoint: ep,
+		delay:    l.delay,
+		queue:    make(chan delayedMessage, 1024),
+		done:     make(chan struct{}),
+	}
+	go le.deliverLoop()
+	return le, nil
+}
+
+type delayedMessage struct {
+	msg Message
+	due time.Time
+}
+
+type latentEndpoint struct {
+	Endpoint
+
+	delay time.Duration
+	queue chan delayedMessage
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// deliverLoop forwards queued messages once their propagation delay
+// has elapsed, preserving send order.
+func (e *latentEndpoint) deliverLoop() {
+	for {
+		select {
+		case dm := <-e.queue:
+			if wait := time.Until(dm.due); wait > 0 {
+				timer := time.NewTimer(wait)
+				select {
+				case <-timer.C:
+				case <-e.done:
+					timer.Stop()
+					return
+				}
+			}
+			_ = e.Endpoint.Send(dm.msg)
+		case <-e.done:
+			return
+		}
+	}
+}
+
+func (e *latentEndpoint) Send(msg Message) error {
+	msg.From = e.Self()
+	select {
+	case e.queue <- delayedMessage{msg: msg, due: time.Now().Add(e.delay)}:
+		return nil
+	case <-e.done:
+		return ErrClosed
+	}
+}
+
+func (e *latentEndpoint) Close() error {
+	e.closeOnce.Do(func() { close(e.done) })
+	return e.Endpoint.Close()
+}

@@ -1,0 +1,56 @@
+package transport
+
+import "sync"
+
+// Stats aggregates traffic counters for one network.
+type Stats struct {
+	// Messages is the total number of messages delivered.
+	Messages int64
+	// Bytes is the total wire volume (payload plus framing estimate).
+	Bytes int64
+	// PerActor breaks the totals down by sending actor (index = actor
+	// ID; index 0 unused).
+	PerActor [NumActors + 1]ActorStats
+}
+
+// ActorStats counts one actor's outbound traffic.
+type ActorStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// MegaBytes converts the byte total to the MB unit used by Table II.
+func (s Stats) MegaBytes() float64 {
+	return float64(s.Bytes) / (1024 * 1024)
+}
+
+// meter is the concurrency-safe counter shared by a network's
+// endpoints.
+type meter struct {
+	mu    sync.Mutex
+	stats Stats
+}
+
+func (m *meter) record(msg Message) {
+	sz := int64(msg.wireSize())
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Messages++
+	m.stats.Bytes += sz
+	if msg.From >= 1 && msg.From <= NumActors {
+		m.stats.PerActor[msg.From].Messages++
+		m.stats.PerActor[msg.From].Bytes += sz
+	}
+}
+
+func (m *meter) snapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+func (m *meter) reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+}

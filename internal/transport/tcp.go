@@ -1,0 +1,331 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPNetwork is the distributed transport: each actor listens on its
+// own TCP address and peers exchange length-prefixed frames over lazily
+// established connections. One process may host any subset of the
+// actors (cmd/trustddl-party hosts exactly one); the traffic meter
+// counts what the local process sends and receives.
+type TCPNetwork struct {
+	meter meter
+
+	mu        sync.Mutex
+	addrs     map[int]string
+	listeners map[int]net.Listener
+	closed    bool
+	endpoints []*tcpEndpoint
+}
+
+var _ Network = (*TCPNetwork)(nil)
+
+// maxFrame bounds a single message frame (1 GiB) to fail fast on
+// corrupted length prefixes.
+const maxFrame = 1 << 30
+
+// NewTCPNetwork creates a TCP transport over the given actor→address
+// map. Addresses of remote actors are dialed on demand; Endpoint may
+// only be called for actors whose address is bindable locally.
+func NewTCPNetwork(addrs map[int]string) *TCPNetwork {
+	cp := make(map[int]string, len(addrs))
+	for k, v := range addrs {
+		cp[k] = v
+	}
+	return &TCPNetwork{addrs: cp, listeners: make(map[int]net.Listener)}
+}
+
+// NewLoopbackTCPNetwork binds all five actors to ephemeral loopback
+// ports in this process — the single-machine distributed configuration
+// used by tests and benchmarks.
+func NewLoopbackTCPNetwork() (*TCPNetwork, error) {
+	n := &TCPNetwork{addrs: make(map[int]string, NumActors), listeners: make(map[int]net.Listener)}
+	for id := 1; id <= NumActors; id++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = n.Close()
+			return nil, fmt.Errorf("transport: bind actor %s: %w", ActorName(id), err)
+		}
+		n.listeners[id] = l
+		n.addrs[id] = l.Addr().String()
+	}
+	return n, nil
+}
+
+// Endpoint implements Network. The actor's listener is created here if
+// NewLoopbackTCPNetwork did not pre-bind it.
+func (n *TCPNetwork) Endpoint(actor int) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	addr, ok := n.addrs[actor]
+	if !ok {
+		return nil, fmt.Errorf("transport: no address configured for actor %d", actor)
+	}
+	l, ok := n.listeners[actor]
+	if !ok {
+		var err error
+		l, err = net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: bind %s at %s: %w", ActorName(actor), addr, err)
+		}
+		n.listeners[actor] = l
+	}
+	ep := &tcpEndpoint{
+		net:      n,
+		self:     actor,
+		listener: l,
+		inbox:    make(chan Message, inboxDepth),
+		conns:    make(map[int]*tcpConn),
+		done:     make(chan struct{}),
+	}
+	n.endpoints = append(n.endpoints, ep)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Stats implements Network.
+func (n *TCPNetwork) Stats() Stats { return n.meter.snapshot() }
+
+// ResetStats implements Network.
+func (n *TCPNetwork) ResetStats() { n.meter.reset() }
+
+// Close implements Network.
+func (n *TCPNetwork) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	eps := n.endpoints
+	listeners := n.listeners
+	n.mu.Unlock()
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	return nil
+}
+
+func (n *TCPNetwork) addrOf(actor int) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	a, ok := n.addrs[actor]
+	return a, ok
+}
+
+type tcpConn struct {
+	mu sync.Mutex // serializes frame writes
+	c  net.Conn
+}
+
+type tcpEndpoint struct {
+	net      *TCPNetwork
+	self     int
+	listener net.Listener
+	inbox    chan Message
+
+	mu     sync.Mutex
+	conns  map[int]*tcpConn // outbound connections by destination
+	closed bool
+	done   chan struct{}
+}
+
+func (e *tcpEndpoint) Self() int { return e.self }
+
+func (e *tcpEndpoint) acceptLoop() {
+	for {
+		c, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go e.readLoop(c)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(c net.Conn) {
+	defer c.Close()
+	for {
+		msg, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		select {
+		case e.inbox <- msg:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) Send(msg Message) error {
+	if e.isClosed() {
+		return ErrClosed
+	}
+	msg.From = e.self
+	conn, err := e.connTo(msg.To)
+	if err != nil {
+		return err
+	}
+	e.net.meter.record(msg) // outbound accounting, mirroring ChanNetwork
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if err := writeFrame(conn.c, msg); err != nil {
+		// Drop the broken connection so the next Send redials.
+		e.mu.Lock()
+		if e.conns[msg.To] == conn {
+			delete(e.conns, msg.To)
+		}
+		e.mu.Unlock()
+		_ = conn.c.Close()
+		return fmt.Errorf("transport: send %s→%s: %w", ActorName(e.self), ActorName(msg.To), err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) connTo(actor int) (*tcpConn, error) {
+	e.mu.Lock()
+	if c, ok := e.conns[actor]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+
+	addr, ok := e.net.addrOf(actor)
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for actor %d", actor)
+	}
+	raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s at %s: %w", ActorName(actor), addr, err)
+	}
+	if tc, ok := raw.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true) // protocol rounds are latency-bound
+	}
+	c := &tcpConn{c: raw}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if existing, ok := e.conns[actor]; ok {
+		_ = raw.Close() // lost the race; reuse the winner
+		return existing, nil
+	}
+	e.conns[actor] = c
+	return c, nil
+}
+
+func (e *tcpEndpoint) Recv(timeout time.Duration) (Message, error) {
+	if e.isClosed() {
+		return Message{}, ErrClosed
+	}
+	if timeout <= 0 {
+		select {
+		case msg := <-e.inbox:
+			return msg, nil
+		case <-e.done:
+			return Message{}, ErrClosed
+		}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case msg := <-e.inbox:
+		return msg, nil
+	case <-e.done:
+		return Message{}, ErrClosed
+	case <-timer.C:
+		return Message{}, ErrTimeout
+	}
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.done)
+	conns := e.conns
+	e.conns = make(map[int]*tcpConn)
+	e.mu.Unlock()
+	for _, c := range conns {
+		_ = c.c.Close()
+	}
+	_ = e.listener.Close()
+	return nil
+}
+
+func (e *tcpEndpoint) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// Frame layout: u32 body length | u8 from | u8 to | u16 sessLen | sess |
+// u16 stepLen | step | payload.
+func writeFrame(w io.Writer, msg Message) error {
+	if len(msg.Session) > 0xffff || len(msg.Step) > 0xffff {
+		return fmt.Errorf("transport: session/step label too long")
+	}
+	body := 2 + 2 + len(msg.Session) + 2 + len(msg.Step) + len(msg.Payload)
+	if body > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", body)
+	}
+	buf := make([]byte, 0, 4+body)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(body))
+	buf = append(buf, byte(msg.From), byte(msg.To))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(msg.Session)))
+	buf = append(buf, msg.Session...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(msg.Step)))
+	buf = append(buf, msg.Step...)
+	buf = append(buf, msg.Payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFrame(r io.Reader) (Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Message{}, err
+	}
+	body := binary.LittleEndian.Uint32(lenBuf[:])
+	if body > maxFrame {
+		return Message{}, fmt.Errorf("transport: frame length %d exceeds limit", body)
+	}
+	buf := make([]byte, body)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Message{}, err
+	}
+	if len(buf) < 6 {
+		return Message{}, errors.New("transport: frame too short")
+	}
+	msg := Message{From: int(buf[0]), To: int(buf[1])}
+	buf = buf[2:]
+	sessLen := int(binary.LittleEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < sessLen+2 {
+		return Message{}, errors.New("transport: session field truncated")
+	}
+	msg.Session = string(buf[:sessLen])
+	buf = buf[sessLen:]
+	stepLen := int(binary.LittleEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < stepLen {
+		return Message{}, errors.New("transport: step field truncated")
+	}
+	msg.Step = string(buf[:stepLen])
+	msg.Payload = buf[stepLen:]
+	return msg, nil
+}

@@ -1,0 +1,445 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+func TestActorName(t *testing.T) {
+	tests := []struct {
+		give int
+		want string
+	}{
+		{Party1, "P1"},
+		{Party3, "P3"},
+		{ModelOwner, "model-owner"},
+		{DataOwner, "data-owner"},
+		{9, "actor-9"},
+	}
+	for _, tt := range tests {
+		if got := ActorName(tt.give); got != tt.want {
+			t.Errorf("ActorName(%d) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestChanNetworkRoundTrip(t *testing.T) {
+	n := NewChanNetwork()
+	defer n.Close()
+	p1, err := n.Endpoint(Party1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := n.Endpoint(Party2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Message{To: Party2, Session: "s", Step: "commit", Payload: []byte{1, 2, 3}}
+	if err := p1.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != Party1 || got.Session != "s" || got.Step != "commit" || string(got.Payload) != "\x01\x02\x03" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestChanNetworkDoubleAttach(t *testing.T) {
+	n := NewChanNetwork()
+	defer n.Close()
+	if _, err := n.Endpoint(Party1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Endpoint(Party1); err == nil {
+		t.Fatal("second attach for P1 must fail")
+	}
+	if _, err := n.Endpoint(42); err == nil {
+		t.Fatal("unknown actor must fail")
+	}
+}
+
+func TestChanNetworkTimeout(t *testing.T) {
+	n := NewChanNetwork()
+	defer n.Close()
+	p1, _ := n.Endpoint(Party1)
+	start := time.Now()
+	_, err := p1.Recv(20 * time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("timeout far exceeded requested duration")
+	}
+}
+
+func TestChanNetworkStats(t *testing.T) {
+	n := NewChanNetwork()
+	defer n.Close()
+	p1, _ := n.Endpoint(Party1)
+	p2, _ := n.Endpoint(Party2)
+	msg := Message{To: Party2, Session: "x", Step: "y", Payload: make([]byte, 100)}
+	for i := 0; i < 3; i++ {
+		if err := p1.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p2.Recv(time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := n.Stats()
+	if st.Messages != 3 {
+		t.Fatalf("messages = %d, want 3", st.Messages)
+	}
+	wantBytes := int64(3 * (16 + 1 + 1 + 100))
+	if st.Bytes != wantBytes {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, wantBytes)
+	}
+	if st.PerActor[Party1].Messages != 3 || st.PerActor[Party2].Messages != 0 {
+		t.Fatalf("per-actor stats wrong: %+v", st.PerActor)
+	}
+	n.ResetStats()
+	if n.Stats().Messages != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+}
+
+func TestChanNetworkConcurrentSenders(t *testing.T) {
+	n := NewChanNetwork()
+	defer n.Close()
+	dst, _ := n.Endpoint(Party3)
+	var wg sync.WaitGroup
+	for _, src := range []int{Party1, Party2} {
+		ep, err := n.Endpoint(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(ep Endpoint) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := ep.Send(Message{To: Party3, Session: "c", Step: "s"}); err != nil {
+					t.Error(err)
+					return
+				}
+				// Pace senders so the bounded inbox never fills even if
+				// the receiver lags.
+				if i%10 == 9 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(ep)
+	}
+	received := 0
+	for received < 100 {
+		if _, err := dst.Recv(2 * time.Second); err != nil {
+			t.Fatalf("after %d messages: %v", received, err)
+		}
+		received++
+	}
+	wg.Wait()
+}
+
+func TestTCPNetworkRoundTrip(t *testing.T) {
+	n, err := NewLoopbackTCPNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	p1, err := n.Endpoint(Party1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := n.Endpoint(Party2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 100_000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := p1.Send(Message{To: Party2, Session: "big", Step: "open", Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.Recv(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != Party1 || got.Session != "big" || len(got.Payload) != len(payload) {
+		t.Fatalf("frame mangled: from=%d session=%q len=%d", got.From, got.Session, len(got.Payload))
+	}
+	for i, b := range got.Payload {
+		if b != byte(i) {
+			t.Fatalf("payload corrupted at byte %d", i)
+		}
+	}
+}
+
+func TestTCPNetworkBidirectional(t *testing.T) {
+	n, err := NewLoopbackTCPNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	p1, _ := n.Endpoint(Party1)
+	p2, _ := n.Endpoint(Party2)
+	p3, _ := n.Endpoint(Party3)
+
+	// Full mesh: everyone messages everyone.
+	eps := map[int]Endpoint{Party1: p1, Party2: p2, Party3: p3}
+	for from, ep := range eps {
+		for to := range eps {
+			if to == from {
+				continue
+			}
+			if err := ep.Send(Message{To: to, Session: "mesh", Step: "ping"}); err != nil {
+				t.Fatalf("%d→%d: %v", from, to, err)
+			}
+		}
+	}
+	for id, ep := range eps {
+		for i := 0; i < 2; i++ {
+			if _, err := ep.Recv(5 * time.Second); err != nil {
+				t.Fatalf("actor %d recv %d: %v", id, i, err)
+			}
+		}
+	}
+	if st := n.Stats(); st.Messages != 6 {
+		t.Fatalf("mesh stats: %d messages, want 6", st.Messages)
+	}
+}
+
+func TestTCPNetworkTimeout(t *testing.T) {
+	n, err := NewLoopbackTCPNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	p1, _ := n.Endpoint(Party1)
+	if _, err := p1.Recv(20 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestTCPNetworkCloseUnblocksRecv(t *testing.T) {
+	n, err := NewLoopbackTCPNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := n.Endpoint(Party1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := p1.Recv(0)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = n.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+func TestInterceptedDrop(t *testing.T) {
+	n := NewChanNetwork()
+	defer n.Close()
+	raw, _ := n.Endpoint(Party1)
+	p2, _ := n.Endpoint(Party2)
+	dropCommits := Intercepted(raw, func(msg Message) *Message {
+		if msg.Step == "commit" {
+			return nil
+		}
+		return &msg
+	})
+	if err := dropCommits.Send(Message{To: Party2, Step: "commit"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dropCommits.Send(Message{To: Party2, Step: "open"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != "open" {
+		t.Fatalf("dropped message leaked: got step %q", got.Step)
+	}
+}
+
+func TestInterceptedRewrite(t *testing.T) {
+	n := NewChanNetwork()
+	defer n.Close()
+	raw, _ := n.Endpoint(Party1)
+	p2, _ := n.Endpoint(Party2)
+	flip := Intercepted(raw, func(msg Message) *Message {
+		if len(msg.Payload) > 0 {
+			msg.Payload = append([]byte(nil), msg.Payload...)
+			msg.Payload[0] ^= 0xff
+		}
+		return &msg
+	})
+	if err := flip.Send(Message{To: Party2, Payload: []byte{0x00}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p2.Recv(time.Second)
+	if got.Payload[0] != 0xff {
+		t.Fatalf("interceptor rewrite lost: %x", got.Payload)
+	}
+}
+
+func TestWireMatrixRoundTrip(t *testing.T) {
+	m, _ := tensor.FromSlice(3, 2, []int64{1, -2, 3, -4, 1 << 62, -(1 << 62)})
+	buf := AppendMatrix(nil, m)
+	got, rest, err := DecodeMatrix(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if !got.Equal(m) {
+		t.Fatal("matrix round trip corrupted values")
+	}
+}
+
+func TestWireMatricesRoundTrip(t *testing.T) {
+	a, _ := tensor.FromSlice(1, 2, []int64{1, 2})
+	b, _ := tensor.FromSlice(2, 2, []int64{3, 4, 5, 6})
+	buf := EncodeMatrices(a, b)
+	got, err := DecodeMatrices(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[0].Equal(a) || !got[1].Equal(b) {
+		t.Fatal("matrix sequence round trip failed")
+	}
+}
+
+func TestWireDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give []byte
+	}{
+		{name: "empty", give: nil},
+		{name: "short header", give: []byte{1, 2, 3}},
+		{name: "truncated body", give: AppendMatrix(nil, tensor.MustNew[int64](2, 2))[:10]},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, err := DecodeMatrix(tt.give); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+	if _, err := DecodeMatrices([]byte{1}); err == nil {
+		t.Fatal("short sequence header: want error")
+	}
+	buf := EncodeMatrices(tensor.MustNew[int64](1, 1))
+	if _, err := DecodeMatrices(append(buf, 0xaa)); err == nil {
+		t.Fatal("trailing bytes: want error")
+	}
+}
+
+func TestWireBundleRoundTrip(t *testing.T) {
+	b := sharing.Bundle{
+		Primary: tensor.MustNew[int64](2, 2),
+		Hat:     tensor.MustNew[int64](2, 2),
+		Second:  tensor.MustNew[int64](2, 2),
+	}
+	b.Primary.Data[0] = 42
+	b.Hat.Data[1] = -7
+	b.Second.Data[2] = 1 << 40
+	got, err := DecodeBundle(EncodeBundle(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Primary.Equal(b.Primary) || !got.Hat.Equal(b.Hat) || !got.Second.Equal(b.Second) {
+		t.Fatal("bundle round trip corrupted shares")
+	}
+}
+
+func TestWireBundlesRoundTrip(t *testing.T) {
+	mk := func(seed int64) sharing.Bundle {
+		b := sharing.Bundle{
+			Primary: tensor.MustNew[int64](1, 3),
+			Hat:     tensor.MustNew[int64](1, 3),
+			Second:  tensor.MustNew[int64](1, 3),
+		}
+		for i := range b.Primary.Data {
+			b.Primary.Data[i] = seed + int64(i)
+			b.Hat.Data[i] = seed * 2
+			b.Second.Data[i] = -seed
+		}
+		return b
+	}
+	e, f := mk(5), mk(9)
+	got, err := DecodeBundles(EncodeBundles(e, f), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[0].Primary.Equal(e.Primary) || !got[1].Second.Equal(f.Second) {
+		t.Fatal("bundles round trip failed")
+	}
+	if _, err := DecodeBundles(EncodeBundles(e), 2); err == nil {
+		t.Fatal("count mismatch: want error")
+	}
+}
+
+func TestWithLatencyDelaysAndPreservesOrder(t *testing.T) {
+	base := NewChanNetwork()
+	defer base.Close()
+	n := WithLatency(base, 30*time.Millisecond)
+	p1, err := n.Endpoint(Party1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	p2, err := n.Endpoint(Party2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+
+	start := time.Now()
+	for i := byte(0); i < 5; i++ {
+		if err := p1.Send(Message{To: Party2, Session: "lat", Step: "s", Payload: []byte{i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := byte(0); i < 5; i++ {
+		msg, err := p2.Recv(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Payload[0] != i {
+			t.Fatalf("message %d arrived as %d: latency wrapper broke FIFO order", i, msg.Payload[0])
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 30*time.Millisecond {
+		t.Fatalf("all messages arrived in %v, before the propagation delay", elapsed)
+	}
+	// Pipelining: five back-to-back sends must NOT serialize to 5×30ms.
+	if elapsed > 120*time.Millisecond {
+		t.Fatalf("deliveries took %v: latencies were serialized instead of overlapped", elapsed)
+	}
+}
+
+func TestWithLatencyZeroIsIdentity(t *testing.T) {
+	base := NewChanNetwork()
+	defer base.Close()
+	if got := WithLatency(base, 0); got != Network(base) {
+		t.Fatal("zero latency must return the underlying network")
+	}
+}

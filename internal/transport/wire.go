@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+// Wire codec for the payloads exchanged by TrustDDL protocols: ring
+// matrices, share bundles and commitment digests. The format is
+// little-endian with explicit dimensions — no reflection, no external
+// dependencies, deterministic byte counts for the communication-cost
+// accounting.
+
+const matrixHeaderLen = 8 // two uint32 dimensions
+
+// AppendMatrix serializes m onto buf and returns the extended slice.
+func AppendMatrix(buf []byte, m tensor.Matrix[int64]) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Rows))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Cols))
+	for _, v := range m.Data {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+// DecodeMatrix parses one matrix from buf, returning it and the
+// remaining bytes.
+func DecodeMatrix(buf []byte) (tensor.Matrix[int64], []byte, error) {
+	if len(buf) < matrixHeaderLen {
+		return tensor.Matrix[int64]{}, nil, fmt.Errorf("transport: matrix header truncated (%d bytes)", len(buf))
+	}
+	rows := int(binary.LittleEndian.Uint32(buf))
+	cols := int(binary.LittleEndian.Uint32(buf[4:]))
+	buf = buf[matrixHeaderLen:]
+	// Bound each dimension before multiplying: two attacker-chosen
+	// 32-bit values can overflow the int64 product and slip past a
+	// product-only check (found by FuzzDecodeMatrix).
+	if rows <= 0 || cols <= 0 || rows > (1<<24) || cols > (1<<24) || rows*cols > (1<<28) {
+		return tensor.Matrix[int64]{}, nil, fmt.Errorf("transport: implausible matrix shape %dx%d", rows, cols)
+	}
+	n := rows * cols
+	if len(buf) < 8*n {
+		return tensor.Matrix[int64]{}, nil, fmt.Errorf("transport: matrix body truncated: need %d bytes, have %d", 8*n, len(buf))
+	}
+	m := tensor.Matrix[int64]{Rows: rows, Cols: cols, Data: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		m.Data[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return m, buf[8*n:], nil
+}
+
+// EncodeMatrices serializes a sequence of matrices.
+func EncodeMatrices(ms ...tensor.Matrix[int64]) []byte {
+	size := 8
+	for _, m := range ms {
+		size += matrixHeaderLen + 8*m.Size()
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(ms)))
+	for _, m := range ms {
+		buf = AppendMatrix(buf, m)
+	}
+	return buf
+}
+
+// DecodeMatrices parses a sequence encoded by EncodeMatrices.
+func DecodeMatrices(buf []byte) ([]tensor.Matrix[int64], error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("transport: matrix sequence header truncated")
+	}
+	n := binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+	if n > (1 << 20) {
+		return nil, fmt.Errorf("transport: implausible matrix count %d", n)
+	}
+	out := make([]tensor.Matrix[int64], 0, n)
+	for i := uint64(0); i < n; i++ {
+		m, rest, err := DecodeMatrix(buf)
+		if err != nil {
+			return nil, fmt.Errorf("transport: matrix %d: %w", i, err)
+		}
+		out = append(out, m)
+		buf = rest
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("transport: %d trailing bytes after matrix sequence", len(buf))
+	}
+	return out, nil
+}
+
+// EncodeBundle serializes a share bundle (the [s]_i vector of the BT
+// protocols: primary, hat, second).
+func EncodeBundle(b sharing.Bundle) []byte {
+	return EncodeMatrices(b.Primary, b.Hat, b.Second)
+}
+
+// DecodeBundle parses a share bundle.
+func DecodeBundle(buf []byte) (sharing.Bundle, error) {
+	ms, err := DecodeMatrices(buf)
+	if err != nil {
+		return sharing.Bundle{}, err
+	}
+	if len(ms) != 3 {
+		return sharing.Bundle{}, fmt.Errorf("transport: bundle has %d matrices, want 3", len(ms))
+	}
+	b := sharing.Bundle{Primary: ms[0], Hat: ms[1], Second: ms[2]}
+	if err := b.Validate(); err != nil {
+		return sharing.Bundle{}, err
+	}
+	return b, nil
+}
+
+// EncodeBundles serializes several bundles (e.g. the e and f vectors of
+// SecMul-BT in one message).
+func EncodeBundles(bs ...sharing.Bundle) []byte {
+	ms := make([]tensor.Matrix[int64], 0, 3*len(bs))
+	for _, b := range bs {
+		ms = append(ms, b.Primary, b.Hat, b.Second)
+	}
+	return EncodeMatrices(ms...)
+}
+
+// DecodeBundles parses the output of EncodeBundles.
+func DecodeBundles(buf []byte, want int) ([]sharing.Bundle, error) {
+	ms, err := DecodeMatrices(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(ms) != 3*want {
+		return nil, fmt.Errorf("transport: %d matrices do not form %d bundles", len(ms), want)
+	}
+	out := make([]sharing.Bundle, want)
+	for i := range out {
+		out[i] = sharing.Bundle{Primary: ms[3*i], Hat: ms[3*i+1], Second: ms[3*i+2]}
+		if err := out[i].Validate(); err != nil {
+			return nil, fmt.Errorf("transport: bundle %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

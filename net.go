@@ -1,0 +1,41 @@
+package trustddl
+
+import (
+	"time"
+
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// Network is the transport abstraction a cluster runs over.
+type Network = transport.Network
+
+// Stats snapshots a network's traffic counters (the "Comm. (MB)"
+// column of Table II is Stats().MegaBytes()).
+type Stats = transport.Stats
+
+// Actor identifiers on a network, matching the paper's Fig. 1.
+const (
+	Party1     = transport.Party1
+	Party2     = transport.Party2
+	Party3     = transport.Party3
+	ModelOwner = transport.ModelOwner
+	DataOwner  = transport.DataOwner
+)
+
+// NewChanNetwork creates the in-process transport (goroutine parties;
+// the default when Config.Net is nil).
+func NewChanNetwork() Network { return transport.NewChanNetwork() }
+
+// NewTCPNetwork creates the distributed transport over an
+// actor→address map; each process binds the actors it hosts and dials
+// the rest on demand.
+func NewTCPNetwork(addrs map[int]string) Network { return transport.NewTCPNetwork(addrs) }
+
+// NewLoopbackTCPNetwork binds all five actors to ephemeral loopback
+// ports in this process — the single-machine distributed configuration.
+func NewLoopbackTCPNetwork() (Network, error) { return transport.NewLoopbackTCPNetwork() }
+
+// WithLatency wraps a network with a simulated one-way propagation
+// delay (a WAN stand-in for sensitivity experiments; FIFO order per
+// sender is preserved and pipelined sends overlap their latencies).
+func WithLatency(n Network, d time.Duration) Network { return transport.WithLatency(n, d) }

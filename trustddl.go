@@ -1,0 +1,123 @@
+// Package trustddl is a from-scratch Go implementation of TrustDDL, a
+// privacy-preserving Byzantine-robust distributed deep learning
+// framework (Nikiel, Mirabi, Binnig — DSN 2024).
+//
+// TrustDDL secret-shares a model and its training data across three
+// computing parties using an additive three-set replicated scheme,
+// computes linear layers with Byzantine-tolerant Beaver-triple
+// protocols (SecMul-BT / SecMatMul-BT), ReLU with a Byzantine-tolerant
+// sign protocol (SecComp-BT), and delegates softmax to the model owner.
+// A commitment phase plus six-way redundant reconstruction lets every
+// honest participant detect a Byzantine party and keep computing the
+// correct result without aborting (guaranteed output delivery).
+//
+// # Quick start
+//
+//	cluster, err := trustddl.New(trustddl.Config{Mode: trustddl.Malicious})
+//	if err != nil { ... }
+//	defer cluster.Close()
+//
+//	weights, _ := trustddl.InitPaperWeights(1)
+//	run, _ := cluster.NewRun(weights)
+//
+//	train, test, _ := trustddl.LoadDataset("", 300, 100, 1)
+//	results, _, _ := cluster.Train(weights, train, test, trustddl.TrainConfig{
+//		Epochs: 5, Batch: 10, LR: 0.1,
+//	})
+//	label, _ := run.Infer(test.Images[0])
+//
+// The package root re-exports the stable surface of the internal
+// subsystems: the cluster orchestrator (internal/core), the workload
+// (internal/mnist, internal/nn), fault injection (internal/byzantine),
+// transports (internal/transport) and the evaluation harness
+// (internal/bench).
+package trustddl
+
+import (
+	"github.com/trustddl/trustddl/internal/core"
+	"github.com/trustddl/trustddl/internal/fixed"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/protocol"
+)
+
+// Mode selects the adversary model a deployment defends against.
+type Mode = core.Mode
+
+// Adversary models (the two TrustDDL rows of the paper's Table II).
+const (
+	// HonestButCurious runs the redundant three-set protocols without
+	// the commitment phase.
+	HonestButCurious = core.HonestButCurious
+	// Malicious adds the commitment phase, enabling detection and
+	// attribution of share/hash equivocation by a Byzantine party.
+	Malicious = core.Malicious
+)
+
+// TripleMode selects where Beaver triples come from.
+type TripleMode = core.TripleMode
+
+// Triple modes.
+const (
+	// OnlineDealing requests triples from the model owner during the
+	// run; their transfer is part of the metered traffic.
+	OnlineDealing = core.OnlineDealing
+	// OfflinePrecomputed consumes pre-dealt triples, separating offline
+	// from online cost.
+	OfflinePrecomputed = core.OfflinePrecomputed
+)
+
+// Config parameterizes a TrustDDL deployment. The zero value selects
+// malicious-mode protection, online triple dealing, the paper's
+// fixed-point encoding and an in-process transport.
+type Config = core.Config
+
+// Cluster is a wired TrustDDL deployment: three computing parties, the
+// model owner and the data owner over a transport (Fig. 1 of the
+// paper).
+type Cluster = core.Cluster
+
+// New builds and starts a deployment.
+func New(cfg Config) (*Cluster, error) { return core.New(cfg) }
+
+// Run is one model lifetime on a cluster: train, evaluate, infer,
+// recover weights.
+type Run = core.Run
+
+// TrainConfig parameterizes Cluster.Train (the Fig. 2 experiment).
+type TrainConfig = core.TrainConfig
+
+// EpochResult is one accuracy measurement of Cluster.Train.
+type EpochResult = core.EpochResult
+
+// Params is the 64-bit fixed-point encoding used by all protocols.
+type Params = fixed.Params
+
+// NewParams validates a fractional-bit count and returns an encoding.
+func NewParams(fracBits uint) (Params, error) { return fixed.NewParams(fracBits) }
+
+// DefaultParams is the paper's training configuration (20 fractional
+// bits, §IV-B).
+func DefaultParams() Params { return fixed.Default() }
+
+// PaperWeights are the parameters of the paper's Table I network.
+type PaperWeights = nn.PaperWeights
+
+// InitPaperWeights draws Table I weights per the paper's §IV-A
+// initialization, deterministically from seed.
+func InitPaperWeights(seed uint64) (PaperWeights, error) { return nn.InitPaperWeights(seed) }
+
+// PlainNetwork is the centralized plaintext (CML) engine used as the
+// Fig. 2 baseline.
+type PlainNetwork = nn.Network
+
+// NewPlainPaperNet builds the plaintext Table I network.
+func NewPlainPaperNet(w PaperWeights) (*PlainNetwork, error) { return nn.NewPlainPaperNet(w) }
+
+// Adversary customizes a computing party's protocol behaviour for
+// fault-injection experiments; see the Byzantine strategy constructors
+// in this package.
+type Adversary = protocol.Adversary
+
+// OwnerStats summarizes the model-owner service activity, including
+// per-party Byzantine suspicion counts.
+type OwnerStats = protocol.OwnerStats

@@ -1,0 +1,133 @@
+package trustddl_test
+
+import (
+	"testing"
+
+	trustddl "github.com/trustddl/trustddl"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cluster, err := trustddl.New(trustddl.Config{Mode: trustddl.Malicious, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	weights, err := trustddl.InitPaperWeights(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := cluster.NewRun(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := trustddl.SyntheticDataset(2, 2)
+	for _, img := range ds.Images {
+		label, err := run.Infer(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label < 0 || label >= trustddl.NumClasses {
+			t.Fatalf("label %d out of range", label)
+		}
+	}
+	if cluster.Stats().Bytes == 0 {
+		t.Fatal("no traffic metered")
+	}
+}
+
+func TestPublicByzantineFlow(t *testing.T) {
+	cluster, err := trustddl.New(trustddl.Config{
+		Mode:        trustddl.Malicious,
+		Seed:        3,
+		Adversaries: map[int]trustddl.Adversary{1: trustddl.ConsistentLiar{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	weights, err := trustddl.InitPaperWeights(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := cluster.NewRun(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := trustddl.SyntheticDataset(4, 1).Images[0]
+	if _, err := run.Infer(img); err != nil {
+		t.Fatalf("inference under Byzantine P1: %v", err)
+	}
+	if s := cluster.DataOwnerSuspicions(); s[1] == 0 {
+		t.Fatalf("data owner did not suspect P1: %v", s)
+	}
+}
+
+func TestPublicParams(t *testing.T) {
+	if trustddl.DefaultParams().FracBits != 20 {
+		t.Fatal("default precision differs from the paper's 20 bits")
+	}
+	if _, err := trustddl.NewParams(0); err == nil {
+		t.Fatal("zero fractional bits accepted")
+	}
+	p, err := trustddl.NewParams(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ToFloat(p.FromFloat(1.25)); got != 1.25 {
+		t.Fatalf("round trip %v", got)
+	}
+}
+
+func TestPublicPlainBaseline(t *testing.T) {
+	w, err := trustddl.InitPaperWeights(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := trustddl.NewPlainPaperNet(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net == nil {
+		t.Fatal("nil network")
+	}
+}
+
+func TestPublicDatasets(t *testing.T) {
+	ds := trustddl.SyntheticDataset(5, 10)
+	if ds.Len() != 10 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	train, test, real := trustddl.LoadDataset(t.TempDir(), 6, 4, 5)
+	if real || train.Len() != 6 || test.Len() != 4 {
+		t.Fatalf("LoadDataset: real=%v %d/%d", real, train.Len(), test.Len())
+	}
+	if _, err := trustddl.LoadMNIST("/nonexistent/a", "/nonexistent/b"); err == nil {
+		t.Fatal("missing IDX files accepted")
+	}
+}
+
+func TestPublicTCPCluster(t *testing.T) {
+	netw, err := trustddl.NewLoopbackTCPNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netw.Close()
+	cluster, err := trustddl.New(trustddl.Config{Mode: trustddl.Malicious, Seed: 7, Net: netw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	weights, err := trustddl.InitPaperWeights(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := cluster.NewRun(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := trustddl.SyntheticDataset(8, 1).Images[0]
+	if _, err := run.Infer(img); err != nil {
+		t.Fatalf("inference over TCP loopback: %v", err)
+	}
+}
