@@ -13,6 +13,7 @@
 //
 //	trustddl-train [-epochs 5] [-train 300] [-test 100] [-batch 10]
 //	               [-lr 0.1] [-seed 1] [-data DIR] [-print-config]
+//	               [-parallelism P]
 package main
 
 import (
@@ -42,8 +43,14 @@ func run(args []string) error {
 	printConfig := fs.Bool("print-config", false, "print the Table I network configuration and exit")
 	sweep := fs.Bool("sweep-precision", false, "sweep fixed-point precisions instead of running Fig. 2")
 	savePath := fs.String("save", "", "after training, save the secure-trained model to this file")
+	parallelism := fs.Int("parallelism", 0, "tensor-kernel worker goroutines (0 = NumCPU, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallelism > 0 {
+		// Applies process-wide, so -sweep-precision and -save paths pick
+		// it up too.
+		trustddl.SetParallelism(*parallelism)
 	}
 
 	if *printConfig {

@@ -4,6 +4,11 @@
 // engine over three-set share bundles that computes linear layers with
 // SecMatMul-BT, ReLU with SecComp-BT, and delegates softmax to the
 // model owner (§III-C).
+//
+// Both engines run their local linear algebra on package tensor's
+// kernels and therefore honor the process-wide tensor.SetParallelism
+// knob; parallel and serial kernels are bit-identical, so training
+// trajectories do not depend on the setting.
 package nn
 
 import (

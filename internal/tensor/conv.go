@@ -63,9 +63,21 @@ func im2col[T Element](c ConvShape, img Matrix[T]) (Matrix[T], error) {
 	}
 	outH, outW := c.OutHeight(), c.OutWidth()
 	out := Matrix[T]{Rows: outH * outW, Cols: c.PatchSize(), Data: make([]T, outH*outW*c.PatchSize())}
-	for oy := 0; oy < outH; oy++ {
+	// Partition by output row oy: patch rows are disjoint slices of out.
+	parallelFor(outH, outH*outW*c.PatchSize(), func(lo, hi int) {
+		im2colRows(c, img.Data, out.Data, lo, hi)
+	})
+	return out, nil
+}
+
+// im2colRows lowers output rows [loOy, hiOy) of one image into dst,
+// which must be the full (OutH·OutW)×PatchSize patch buffer.
+func im2colRows[T Element](c ConvShape, img, dst []T, loOy, hiOy int) {
+	outW := c.OutWidth()
+	patch := c.PatchSize()
+	for oy := loOy; oy < hiOy; oy++ {
 		for ox := 0; ox < outW; ox++ {
-			row := out.Data[(oy*outW+ox)*out.Cols : (oy*outW+ox+1)*out.Cols]
+			row := dst[(oy*outW+ox)*patch : (oy*outW+ox+1)*patch]
 			idx := 0
 			for ch := 0; ch < c.InChannels; ch++ {
 				for ky := 0; ky < c.Kernel; ky++ {
@@ -73,7 +85,7 @@ func im2col[T Element](c ConvShape, img Matrix[T]) (Matrix[T], error) {
 					for kx := 0; kx < c.Kernel; kx++ {
 						ix := ox*c.Stride + kx - c.Pad
 						if iy >= 0 && iy < c.Height && ix >= 0 && ix < c.Width {
-							row[idx] = img.Data[ch*c.Height*c.Width+iy*c.Width+ix]
+							row[idx] = img[ch*c.Height*c.Width+iy*c.Width+ix]
 						}
 						idx++
 					}
@@ -81,7 +93,6 @@ func im2col[T Element](c ConvShape, img Matrix[T]) (Matrix[T], error) {
 			}
 		}
 	}
-	return out, nil
 }
 
 // Col2Im scatter-adds a patch-matrix gradient (OutH·OutW × PatchSize)
@@ -107,25 +118,56 @@ func col2im[T Element](c ConvShape, cols Matrix[T]) (Matrix[T], error) {
 			cols.Rows, cols.Cols, outH*outW, c.PatchSize())
 	}
 	img := Matrix[T]{Rows: c.InChannels, Cols: c.Height * c.Width, Data: make([]T, c.InChannels*c.Height*c.Width)}
-	for oy := 0; oy < outH; oy++ {
-		for ox := 0; ox < outW; ox++ {
-			row := cols.Data[(oy*outW+ox)*cols.Cols : (oy*outW+ox+1)*cols.Cols]
-			idx := 0
-			for ch := 0; ch < c.InChannels; ch++ {
-				for ky := 0; ky < c.Kernel; ky++ {
-					iy := oy*c.Stride + ky - c.Pad
-					for kx := 0; kx < c.Kernel; kx++ {
-						ix := ox*c.Stride + kx - c.Pad
-						if iy >= 0 && iy < c.Height && ix >= 0 && ix < c.Width {
-							img.Data[ch*c.Height*c.Width+iy*c.Width+ix] += row[idx]
-						}
-						idx++
-					}
-				}
+	parallelFor(len(img.Data), outH*outW*c.PatchSize(), func(lo, hi int) {
+		col2imPixels(c, cols.Data, img.Data, lo, hi)
+	})
+	return img, nil
+}
+
+// col2imPixels computes image pixels [lo, hi) (flat InChannels×H·W
+// indices) of the Col2Im adjoint. The textbook formulation scatter-adds
+// each patch row into the image, which races under row partitioning;
+// here the scatter is inverted into a per-pixel gather so every pixel's
+// accumulation is owned by exactly one goroutine. The contributing
+// patches are visited in ascending (oy, ox) order — the same order the
+// serial scatter adds them — so the per-pixel float64 addition chain,
+// and hence the result, is identical to the scatter's.
+func col2imPixels[T Element](c ConvShape, cols, img []T, lo, hi int) {
+	outH, outW := c.OutHeight(), c.OutWidth()
+	hw := c.Height * c.Width
+	kk := c.Kernel * c.Kernel
+	patch := c.PatchSize()
+	for idx := lo; idx < hi; idx++ {
+		ch := idx / hw
+		rem := idx % hw
+		iy := rem / c.Width
+		ix := rem % c.Width
+		// A patch at (oy, ox) touches (iy, ix) iff ky = iy+Pad−oy·Stride
+		// and kx = ix+Pad−ox·Stride both land in [0, Kernel).
+		oyLo, oyHi := 0, (iy+c.Pad)/c.Stride
+		if n := iy + c.Pad - c.Kernel + 1; n > 0 {
+			oyLo = (n + c.Stride - 1) / c.Stride
+		}
+		if oyHi > outH-1 {
+			oyHi = outH - 1
+		}
+		oxLo, oxHi := 0, (ix+c.Pad)/c.Stride
+		if n := ix + c.Pad - c.Kernel + 1; n > 0 {
+			oxLo = (n + c.Stride - 1) / c.Stride
+		}
+		if oxHi > outW-1 {
+			oxHi = outW - 1
+		}
+		var acc T
+		for oy := oyLo; oy <= oyHi; oy++ {
+			ky := iy + c.Pad - oy*c.Stride
+			for ox := oxLo; ox <= oxHi; ox++ {
+				kx := ix + c.Pad - ox*c.Stride
+				acc += cols[(oy*outW+ox)*patch+ch*kk+ky*c.Kernel+kx]
 			}
 		}
+		img[idx] = acc
 	}
-	return img, nil
 }
 
 // Im2ColBatch lowers a batch matrix (one flattened image per row) into
@@ -135,23 +177,23 @@ func Im2ColBatch[T Element](c ConvShape, x Matrix[T]) (Matrix[T], error) {
 	if x.Cols != inLen {
 		return Matrix[T]{}, fmt.Errorf("tensor: im2col batch width %d, want %d", x.Cols, inLen)
 	}
+	if err := c.Validate(); err != nil {
+		return Matrix[T]{}, err
+	}
 	positions := c.OutHeight() * c.OutWidth()
 	out := Matrix[T]{
 		Rows: x.Rows * positions,
 		Cols: c.PatchSize(),
 		Data: make([]T, x.Rows*positions*c.PatchSize()),
 	}
-	for s := 0; s < x.Rows; s++ {
-		img, err := FromSlice(c.InChannels, c.Height*c.Width, x.Data[s*inLen:(s+1)*inLen])
-		if err != nil {
-			return Matrix[T]{}, err
+	outH := c.OutHeight()
+	// Partition by sample: each image lowers into a disjoint block of
+	// out, serially inside (no nested fan-out).
+	parallelFor(x.Rows, x.Rows*positions*c.PatchSize(), func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			im2colRows(c, x.Data[s*inLen:(s+1)*inLen], out.Data[s*positions*out.Cols:(s+1)*positions*out.Cols], 0, outH)
 		}
-		cols, err := im2col(c, img)
-		if err != nil {
-			return Matrix[T]{}, err
-		}
-		copy(out.Data[s*positions*out.Cols:(s+1)*positions*out.Cols], cols.Data)
-	}
+	})
 	return out, nil
 }
 
@@ -162,18 +204,15 @@ func Col2ImBatch[T Element](c ConvShape, cols Matrix[T], batch int) (Matrix[T], 
 	if cols.Rows != batch*positions || cols.Cols != c.PatchSize() {
 		return Matrix[T]{}, fmt.Errorf("tensor: col2im batch shape %dx%d unexpected", cols.Rows, cols.Cols)
 	}
+	if err := c.Validate(); err != nil {
+		return Matrix[T]{}, err
+	}
 	inLen := c.InChannels * c.Height * c.Width
 	out := Matrix[T]{Rows: batch, Cols: inLen, Data: make([]T, batch*inLen)}
-	for s := 0; s < batch; s++ {
-		block, err := FromSlice(positions, c.PatchSize(), cols.Data[s*positions*cols.Cols:(s+1)*positions*cols.Cols])
-		if err != nil {
-			return Matrix[T]{}, err
+	parallelFor(batch, batch*positions*c.PatchSize(), func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			col2imPixels(c, cols.Data[s*positions*cols.Cols:(s+1)*positions*cols.Cols], out.Data[s*inLen:(s+1)*inLen], 0, inLen)
 		}
-		img, err := col2im(c, block)
-		if err != nil {
-			return Matrix[T]{}, err
-		}
-		copy(out.Data[s*inLen:(s+1)*inLen], img.Data)
-	}
+	})
 	return out, nil
 }

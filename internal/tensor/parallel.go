@@ -1,0 +1,117 @@
+// Parallel execution layer for the hot kernels.
+//
+// Every kernel in this package partitions its work so that no single
+// output element's reduction is ever split across workers: MatMul and
+// the element-wise kernels partition by output row/element (each output
+// is produced start-to-finish by one goroutine, inner loops untouched),
+// and the Col2Im scatter is re-expressed as a per-pixel gather that
+// accumulates contributions in exactly the serial loop order. The
+// consequence is that parallel results are element-wise identical to
+// the serial ones — trivially over the int64 fixed-point ring, where
+// two's-complement addition is associative and commutative regardless
+// of chunking, and also over float64, where the per-element addition
+// *order* is what matters and is preserved by never splitting a
+// reduction. The equivalence suite in parallel_test.go asserts this at
+// chunk boundaries for both domains.
+//
+// Small inputs never pay goroutine overhead: a kernel fans out only
+// when its estimated element-op count reaches ParallelThreshold.
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultParallelThreshold is the minimum number of element operations
+// a kernel invocation must perform before it fans out to worker
+// goroutines. Spawning and joining a goroutine costs on the order of a
+// microsecond — roughly the cost of 10⁴ int64 multiply-adds — so below
+// this the serial loop always wins.
+const DefaultParallelThreshold = 1 << 14
+
+var (
+	parallelism       atomic.Int64
+	parallelThreshold atomic.Int64
+)
+
+func init() {
+	parallelism.Store(int64(runtime.NumCPU()))
+	parallelThreshold.Store(DefaultParallelThreshold)
+}
+
+// SetParallelism sets the number of worker goroutines the kernels may
+// fan out to and returns the previous value. n = 1 forces fully serial
+// execution (the deterministic reference mode); n < 1 resets to
+// runtime.NumCPU(). The setting is process-wide: every engine built on
+// this package — plaintext layers, secure share arithmetic, the
+// protocol-local Beaver combinations, and the baseline simulators —
+// picks it up on its next kernel call.
+func SetParallelism(n int) int {
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	return int(parallelism.Swap(int64(n)))
+}
+
+// Parallelism returns the current worker count.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// SetParallelThreshold sets the minimum element-op count at which
+// kernels fan out, returning the previous value. 0 makes every kernel
+// call parallel regardless of size (used by the equivalence tests to
+// exercise chunk boundaries at tiny shapes); v < 0 resets the default.
+func SetParallelThreshold(v int) int {
+	if v < 0 {
+		v = DefaultParallelThreshold
+	}
+	return int(parallelThreshold.Swap(int64(v)))
+}
+
+// ParallelThreshold returns the current fan-out threshold.
+func ParallelThreshold() int { return int(parallelThreshold.Load()) }
+
+// workersFor returns how many goroutines a kernel splitting n units of
+// outer-loop work totalling ops element operations should use.
+func workersFor(n, ops int) int {
+	if n < 2 || ops < int(parallelThreshold.Load()) {
+		return 1
+	}
+	p := int(parallelism.Load())
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// parallelFor splits the index range [0, n) into at most
+// workersFor(n, ops) contiguous chunks and runs fn on each chunk,
+// concurrently when more than one chunk results. fn must only write
+// state owned by its [lo, hi) slice of the range.
+func parallelFor(n, ops int, fn func(lo, hi int)) {
+	p := workersFor(n, ops)
+	if p <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

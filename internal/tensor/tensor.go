@@ -89,9 +89,11 @@ func (m Matrix[T]) Add(o Matrix[T]) (Matrix[T], error) {
 		return Matrix[T]{}, shapeErr("add", m, o)
 	}
 	out := m.Clone()
-	for i, v := range o.Data {
-		out.Data[i] += v
-	}
+	parallelFor(len(out.Data), len(out.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] += o.Data[i]
+		}
+	})
 	return out, nil
 }
 
@@ -101,9 +103,11 @@ func (m Matrix[T]) Sub(o Matrix[T]) (Matrix[T], error) {
 		return Matrix[T]{}, shapeErr("sub", m, o)
 	}
 	out := m.Clone()
-	for i, v := range o.Data {
-		out.Data[i] -= v
-	}
+	parallelFor(len(out.Data), len(out.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] -= o.Data[i]
+		}
+	})
 	return out, nil
 }
 
@@ -112,9 +116,11 @@ func (m Matrix[T]) AddInPlace(o Matrix[T]) error {
 	if !m.SameShape(o) {
 		return shapeErr("add", m, o)
 	}
-	for i, v := range o.Data {
-		m.Data[i] += v
-	}
+	parallelFor(len(m.Data), len(m.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.Data[i] += o.Data[i]
+		}
+	})
 	return nil
 }
 
@@ -123,27 +129,33 @@ func (m Matrix[T]) SubInPlace(o Matrix[T]) error {
 	if !m.SameShape(o) {
 		return shapeErr("sub", m, o)
 	}
-	for i, v := range o.Data {
-		m.Data[i] -= v
-	}
+	parallelFor(len(m.Data), len(m.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.Data[i] -= o.Data[i]
+		}
+	})
 	return nil
 }
 
 // Scale returns k·m for a constant k (ASS supports this locally, §II).
 func (m Matrix[T]) Scale(k T) Matrix[T] {
 	out := m.Clone()
-	for i := range out.Data {
-		out.Data[i] *= k
-	}
+	parallelFor(len(out.Data), len(out.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] *= k
+		}
+	})
 	return out
 }
 
 // Neg returns -m.
 func (m Matrix[T]) Neg() Matrix[T] {
 	out := m.Clone()
-	for i := range out.Data {
-		out.Data[i] = -out.Data[i]
-	}
+	parallelFor(len(out.Data), len(out.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = -out.Data[i]
+		}
+	})
 	return out
 }
 
@@ -155,9 +167,11 @@ func (m Matrix[T]) Hadamard(o Matrix[T]) (Matrix[T], error) {
 		return Matrix[T]{}, shapeErr("hadamard", m, o)
 	}
 	out := m.Clone()
-	for i, v := range o.Data {
-		out.Data[i] *= v
-	}
+	parallelFor(len(out.Data), len(out.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] *= o.Data[i]
+		}
+	})
 	return out, nil
 }
 
@@ -169,30 +183,37 @@ func (m Matrix[T]) MatMul(o Matrix[T]) (Matrix[T], error) {
 		return Matrix[T]{}, fmt.Errorf("tensor: matmul %dx%d × %dx%d: inner dimensions differ", m.Rows, m.Cols, o.Rows, o.Cols)
 	}
 	out := Matrix[T]{Rows: m.Rows, Cols: o.Cols, Data: make([]T, m.Rows*o.Cols)}
-	for i := 0; i < m.Rows; i++ {
-		mRow := m.Data[i*m.Cols : (i+1)*m.Cols]
-		outRow := out.Data[i*o.Cols : (i+1)*o.Cols]
-		for k, a := range mRow {
-			if a == 0 {
-				continue
-			}
-			oRow := o.Data[k*o.Cols : (k+1)*o.Cols]
-			for j, b := range oRow {
-				outRow[j] += a * b
+	// Partition by output row: each goroutine owns rows [lo, hi) of the
+	// result and runs the full k-reduction for them, so per-element
+	// accumulation order is identical to the serial loop.
+	parallelFor(m.Rows, m.Rows*m.Cols*o.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mRow := m.Data[i*m.Cols : (i+1)*m.Cols]
+			outRow := out.Data[i*o.Cols : (i+1)*o.Cols]
+			for k, a := range mRow {
+				if a == 0 {
+					continue
+				}
+				oRow := o.Data[k*o.Cols : (k+1)*o.Cols]
+				for j, b := range oRow {
+					outRow[j] += a * b
+				}
 			}
 		}
-	}
+	})
 	return out, nil
 }
 
 // Transpose returns mᵀ.
 func (m Matrix[T]) Transpose() Matrix[T] {
 	out := Matrix[T]{Rows: m.Cols, Cols: m.Rows, Data: make([]T, len(m.Data))}
-	for r := 0; r < m.Rows; r++ {
-		for c := 0; c < m.Cols; c++ {
-			out.Data[c*m.Rows+r] = m.Data[r*m.Cols+c]
+	parallelFor(m.Rows, len(m.Data), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			for c := 0; c < m.Cols; c++ {
+				out.Data[c*m.Rows+r] = m.Data[r*m.Cols+c]
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -207,12 +228,17 @@ func (m Matrix[T]) Reshape(rows, cols int) (Matrix[T], error) {
 	return out, nil
 }
 
-// Map returns a new matrix with f applied element-wise.
+// Map returns a new matrix with f applied element-wise. On matrices
+// large enough to fan out, f is called concurrently from multiple
+// goroutines and must therefore be pure (every existing caller passes
+// a stateless truncation/clamp closure).
 func (m Matrix[T]) Map(f func(T) T) Matrix[T] {
 	out := m.Clone()
-	for i, v := range out.Data {
-		out.Data[i] = f(v)
-	}
+	parallelFor(len(out.Data), len(out.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = f(out.Data[i])
+		}
+	})
 	return out
 }
 

@@ -1,0 +1,21 @@
+package trustddl
+
+import "github.com/trustddl/trustddl/internal/tensor"
+
+// SetParallelism sets the process-wide worker-goroutine count for the
+// tensor kernels (matrix multiplication, element-wise share
+// arithmetic, im2col/col2im lowering) that every engine — the
+// plaintext CML baseline, the secure fixed-point engine, the protocol
+// Beaver combinations and the Table II baseline simulators — runs its
+// local linear algebra on. It returns the previous value.
+//
+// n = 1 forces fully serial kernels (the deterministic reference
+// mode); n < 1 resets the default, runtime.NumCPU(). Parallel and
+// serial kernels produce bit-identical results in both element
+// domains — the partitioning never splits a single output element's
+// reduction — so the knob trades only wall-clock time, never accuracy
+// or reproducibility.
+func SetParallelism(n int) int { return tensor.SetParallelism(n) }
+
+// Parallelism returns the current tensor-kernel worker count.
+func Parallelism() int { return tensor.Parallelism() }
