@@ -9,18 +9,24 @@
 //
 //	trustddl-party -party 1 \
 //	  -addrs "1=10.0.0.1:7001,2=10.0.0.2:7001,3=10.0.0.3:7001,4=10.0.0.4:7001,5=10.0.0.5:7001" \
-//	  [-hbc] [-timeout 5s]
+//	  [-hbc] [-timeout 5s] [-send-timeout 2s] [-dial-timeout 2s] \
+//	  [-send-retries 3] [-retry-backoff 50ms]
 //
 // The actor IDs are: 1..3 computing parties, 4 model owner, 5 data
-// owner.
+// owner. SIGINT/SIGTERM shut the party down gracefully (in-flight
+// connections are drained and the mesh endpoint unregistered); peers
+// that restart are picked up again by the transport's
+// redial-with-backoff.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"github.com/trustddl/trustddl/internal/core"
 	"github.com/trustddl/trustddl/internal/fixed"
@@ -44,6 +50,10 @@ func run(args []string) error {
 	hbc := fs.Bool("hbc", false, "run without the commitment phase (honest-but-curious mode)")
 	timeout := fs.Duration("timeout", party.DefaultTimeout, "per-message receive timer")
 	fracBits := fs.Uint("frac-bits", fixed.DefaultFracBits, "fixed-point fractional bits (must match the driver)")
+	sendTimeout := fs.Duration("send-timeout", 0, "per-attempt frame write deadline (0 = transport default)")
+	dialTimeout := fs.Duration("dial-timeout", 0, "per-attempt dial+handshake deadline (0 = transport default)")
+	sendRetries := fs.Int("send-retries", 0, "send attempts incl. redials per message (0 = transport default)")
+	retryBackoff := fs.Duration("retry-backoff", 0, "initial redial backoff, doubled per retry (0 = transport default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +71,9 @@ func run(args []string) error {
 
 	netw := transport.NewTCPNetwork(addrMap)
 	defer netw.Close()
+	netw.SetSendTimeout(*sendTimeout)
+	netw.SetDialTimeout(*dialTimeout)
+	netw.SetRetryPolicy(*sendRetries, *retryBackoff)
 	ep, err := netw.Endpoint(*partyID)
 	if err != nil {
 		return err
@@ -69,13 +82,36 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	// Graceful shutdown: the first signal drains the transport (closing
+	// the mesh endpoint makes ServeParty return nil); a second signal
+	// kills the process the hard way.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		sig, ok := <-sigs
+		if !ok {
+			return
+		}
+		fmt.Printf("trustddl-party: %v — shutting down gracefully (signal again to force)\n", sig)
+		_ = netw.Close()
+		if _, ok := <-sigs; ok {
+			os.Exit(1)
+		}
+	}()
+
 	mode := "malicious"
 	if *hbc {
 		mode = "honest-but-curious"
 	}
 	fmt.Printf("trustddl-party: P%d serving at %s (%s mode, F=%d)\n",
 		*partyID, addrMap[*partyID], mode, *fracBits)
-	return core.ServeParty(ctx, nn.OwnerSource{Ctx: ctx})
+	err = core.ServeParty(ctx, nn.OwnerSource{Ctx: ctx})
+	// Unblock the signal goroutine on normal exit.
+	signal.Stop(sigs)
+	close(sigs)
+	return err
 }
 
 func parseAddrs(s string) (map[int]string, error) {

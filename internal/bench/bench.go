@@ -23,7 +23,13 @@ type Table2Row struct {
 	Model     string // adversary model column
 	Task      string // "Training" | "Inference"
 	TimeSec   float64
-	CommMB    float64
+	// CommMB is the sent volume (the paper's "Comm. (MB)" column).
+	CommMB float64
+	// RecvMB is the received volume. On the single-process transports
+	// used here it mirrors CommMB; in a multi-process deployment each
+	// process reports its own directions, so the split shows where the
+	// traffic actually lands.
+	RecvMB float64
 }
 
 // Table2Config parameterizes the Table II reproduction.
@@ -149,7 +155,9 @@ func measureFramework(fw baselines.Framework, w nn.PaperWeights, images []mnist.
 		}
 	}
 	trainTime := time.Since(start).Seconds() / float64(iters)
-	trainMB := fw.Stats().MegaBytes() / float64(iters)
+	trainStats := fw.Stats()
+	trainMB := trainStats.MegaBytes() / float64(iters)
+	trainRecvMB := trainStats.RecvMegaBytes() / float64(iters)
 
 	fw.ResetStats()
 	start = time.Now()
@@ -159,22 +167,27 @@ func measureFramework(fw baselines.Framework, w nn.PaperWeights, images []mnist.
 		}
 	}
 	inferTime := time.Since(start).Seconds() / float64(iters)
-	inferMB := fw.Stats().MegaBytes() / float64(iters)
+	inferStats := fw.Stats()
+	inferMB := inferStats.MegaBytes() / float64(iters)
+	inferRecvMB := inferStats.RecvMegaBytes() / float64(iters)
 
 	base := Table2Row{Framework: fw.Name(), Model: fw.AdversaryModel()}
 	train, infer = base, base
-	train.Task, train.TimeSec, train.CommMB = "Training", trainTime, trainMB
-	infer.Task, infer.TimeSec, infer.CommMB = "Inference", inferTime, inferMB
+	train.Task, train.TimeSec, train.CommMB, train.RecvMB = "Training", trainTime, trainMB, trainRecvMB
+	infer.Task, infer.TimeSec, infer.CommMB, infer.RecvMB = "Inference", inferTime, inferMB, inferRecvMB
 	return train, infer, nil
 }
 
-// FormatTable2 renders rows in the paper's layout.
+// FormatTable2 renders rows in the paper's layout, with the byte
+// meter's per-direction split appended ("Comm. (MB)" is the sent
+// volume, as in the paper; "Recv (MB)" mirrors it on single-process
+// transports).
 func FormatTable2(rows []Table2Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %-20s %-10s %12s %12s\n", "Framework", "Model", "Task", "Time (s)", "Comm. (MB)")
-	fmt.Fprintln(&b, strings.Repeat("-", 70))
+	fmt.Fprintf(&b, "%-12s %-20s %-10s %12s %12s %12s\n", "Framework", "Model", "Task", "Time (s)", "Comm. (MB)", "Recv (MB)")
+	fmt.Fprintln(&b, strings.Repeat("-", 83))
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-12s %-20s %-10s %12.4f %12.4f\n", r.Framework, r.Model, r.Task, r.TimeSec, r.CommMB)
+		fmt.Fprintf(&b, "%-12s %-20s %-10s %12.4f %12.4f %12.4f\n", r.Framework, r.Model, r.Task, r.TimeSec, r.CommMB, r.RecvMB)
 	}
 	return b.String()
 }

@@ -144,6 +144,38 @@ func Delay(d time.Duration, stepSuffix string) transport.SendInterceptor {
 	}
 }
 
+// SpoofFrom returns an interceptor for a sender-spoofing party: every
+// matching outbound message claims to originate from actor `claim`
+// instead of the real sender. Against the unauthenticated in-process
+// transport this misattributes the traffic; against the hardened TCP
+// transport the receiver re-attributes the frame to the handshake
+// identity and records a party.SpoofError against the real sender, so
+// the forgery convicts its author instead of the framed peer. Steps is
+// a suffix filter; empty spoofs all messages.
+func SpoofFrom(claim int, stepSuffix string) transport.SendInterceptor {
+	return func(msg transport.Message) *transport.Message {
+		if stepSuffix == "" || strings.HasSuffix(msg.Step, stepSuffix) {
+			msg.From = claim
+		}
+		return &msg
+	}
+}
+
+// StallWriter returns an interceptor for a stalled writer: matching
+// sends block until release is closed, then go out (stale). Unlike
+// Delay's fixed sleep, the blockage is indefinite from the protocol's
+// point of view — honest parties' receive timers flag the stall, and
+// closing release afterwards exercises late-frame handling (a drained
+// round must not be corrupted by frames that finally flush).
+func StallWriter(release <-chan struct{}, stepSuffix string) transport.SendInterceptor {
+	return func(msg transport.Message) *transport.Message {
+		if stepSuffix == "" || strings.HasSuffix(msg.Step, stepSuffix) {
+			<-release
+		}
+		return &msg
+	}
+}
+
 // CorruptPayload returns an interceptor that flips bits in every
 // matching payload in transit — a lower-level corruption than the
 // protocol adversaries, caught by the commitment check because the

@@ -153,3 +153,56 @@ func TestCorruptPayload(t *testing.T) {
 		}
 	}
 }
+
+func TestSpoofFrom(t *testing.T) {
+	fn := SpoofFrom(transport.Party2, "/open")
+	out := fn(transport.Message{From: transport.Party3, Step: "ef/open"})
+	if out == nil {
+		t.Fatal("SpoofFrom dropped the message")
+	}
+	if out.From != transport.Party2 {
+		t.Fatalf("From = %d, want forged %d", out.From, transport.Party2)
+	}
+	// Non-matching steps keep honest attribution.
+	out2 := fn(transport.Message{From: transport.Party3, Step: "ef/commit"})
+	if out2.From != transport.Party3 {
+		t.Fatal("non-matching message spoofed")
+	}
+	// Empty suffix spoofs everything.
+	all := SpoofFrom(transport.Party1, "")
+	if got := all(transport.Message{From: transport.Party3, Step: "whatever"}); got.From != transport.Party1 {
+		t.Fatal("empty suffix did not spoof all messages")
+	}
+}
+
+func TestStallWriter(t *testing.T) {
+	release := make(chan struct{})
+	fn := StallWriter(release, "/open")
+
+	// Non-matching messages pass immediately.
+	start := time.Now()
+	if fn(transport.Message{Step: "ef/commit"}) == nil {
+		t.Fatal("non-matching message dropped")
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("non-matching message stalled")
+	}
+
+	// Matching messages block until release closes, then flush stale.
+	done := make(chan *transport.Message, 1)
+	go func() { done <- fn(transport.Message{Step: "ef/open", Payload: []byte("late")}) }()
+	select {
+	case <-done:
+		t.Fatal("stalled message sent before release")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case out := <-done:
+		if out == nil || string(out.Payload) != "late" {
+			t.Fatalf("released message mangled: %+v", out)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message never flushed after release")
+	}
+}

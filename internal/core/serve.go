@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log"
 	"strings"
 
 	"github.com/trustddl/trustddl/internal/nn"
@@ -32,6 +33,15 @@ const (
 // cluster driver: "init/…" (weight distribution), "train/…" (one SGD
 // step), "infer/…" (forward pass + logits reveal), "reveal/…" (weight
 // recovery).
+//
+// Commands are only honoured from legitimate senders (the owners, or —
+// for shutdown — the party itself); the hardened TCP transport
+// guarantees the sender attribution, so a computing party spoofing an
+// owner cannot shut a peer down or re-initialize its weights. Transient
+// faults (a stalled or restarted driver mid-batch) do not kill the
+// server: the loop logs the failed command and keeps serving, so the
+// restarted driver finds the party alive and the transport redial
+// reconnects it.
 func ServeParty(ctx *protocol.Ctx, ts nn.TripleSource) error {
 	var (
 		net  *nn.SecureNetwork
@@ -51,27 +61,54 @@ func ServeParty(ctx *protocol.Ctx, ts nn.TripleSource) error {
 		}
 		switch {
 		case msg.Step == StepShutdown:
+			if !fromOwner(msg.From) && msg.From != ctx.Index {
+				continue // only the owners (or the party itself) may stop the server
+			}
 			return nil
 		case strings.HasPrefix(msg.Session, "init/") && msg.Step == "arch":
+			if msg.From != transport.ModelOwner {
+				continue
+			}
 			arch, net, err = recvNetwork(ctx, msg)
 			if err != nil {
+				if transientServeErr(err) {
+					log.Printf("core: serve party %d: init %q aborted: %v (still serving)", ctx.Index, msg.Session, err)
+					continue
+				}
 				return fmt.Errorf("core: serve party %d init: %w", ctx.Index, err)
 			}
 		case strings.HasPrefix(msg.Session, "train/") && msg.Step == "x":
+			if msg.From != transport.DataOwner {
+				continue
+			}
 			if net == nil {
 				return fmt.Errorf("core: serve party %d: training before weight distribution", ctx.Index)
 			}
 			if err := serveTrain(ctx, ts, net, msg); err != nil {
+				if transientServeErr(err) {
+					log.Printf("core: serve party %d: train %q aborted: %v (still serving)", ctx.Index, msg.Session, err)
+					continue
+				}
 				return fmt.Errorf("core: serve party %d train %q: %w", ctx.Index, msg.Session, err)
 			}
 		case strings.HasPrefix(msg.Session, "infer/") && msg.Step == "x":
+			if msg.From != transport.DataOwner {
+				continue
+			}
 			if net == nil {
 				return fmt.Errorf("core: serve party %d: inference before weight distribution", ctx.Index)
 			}
 			if err := serveInfer(ctx, ts, net, msg); err != nil {
+				if transientServeErr(err) {
+					log.Printf("core: serve party %d: infer %q aborted: %v (still serving)", ctx.Index, msg.Session, err)
+					continue
+				}
 				return fmt.Errorf("core: serve party %d infer %q: %w", ctx.Index, msg.Session, err)
 			}
 		case msg.Step == stepRevealWeights:
+			if !fromOwner(msg.From) {
+				continue
+			}
 			if net == nil {
 				return fmt.Errorf("core: serve party %d: reveal before weight distribution", ctx.Index)
 			}
@@ -84,6 +121,22 @@ func ServeParty(ctx *protocol.Ctx, ts nn.TripleSource) error {
 			// Expects inside the handlers.
 		}
 	}
+}
+
+// fromOwner reports whether an actor ID is one of the two trusted
+// owners.
+func fromOwner(actor int) bool {
+	return actor == transport.ModelOwner || actor == transport.DataOwner
+}
+
+// transientServeErr classifies failures a served party should survive:
+// receive timers expiring or peers' messages failing to arrive/send
+// because the driver (or a peer) stalled or restarted mid-command. The
+// party abandons the command and keeps serving; protocol-level faults
+// (bad payloads, state errors) still abort.
+func transientServeErr(err error) bool {
+	var te *party.TimeoutError
+	return errors.As(err, &te) || errors.Is(err, transport.ErrTimeout)
 }
 
 // recvNetwork assembles the secure network from a weight-distribution

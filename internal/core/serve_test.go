@@ -141,3 +141,51 @@ func TestDecodeLR(t *testing.T) {
 		}
 	}
 }
+
+func TestServeShutdownSenderValidated(t *testing.T) {
+	netw := transport.NewChanNetwork()
+	defer netw.Close()
+	ep, err := netw.Endpoint(transport.Party1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := protocol.NewCtx(party.NewRouter(ep, 5*time.Second), 1, fixed.Default(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ServeParty(ctx, nn.OwnerSource{Ctx: ctx}) }()
+
+	// A peer computing party claiming shutdown authority is ignored: the
+	// hardened transport guarantees From, so this models an authenticated
+	// P2 overreaching, not a spoofed owner.
+	p2, err := netw.Endpoint(transport.Party2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Send(transport.Message{To: transport.Party1, Step: StepShutdown}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("server stopped on a peer's shutdown command (err=%v)", err)
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	// The data owner's shutdown is honoured.
+	do, err := netw.Endpoint(transport.DataOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := do.Send(transport.Message{To: transport.Party1, Step: StepShutdown}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("owner shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server ignored the owner's shutdown command")
+	}
+}

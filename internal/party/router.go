@@ -32,10 +32,36 @@ func (e *TimeoutError) Error() string {
 		transport.ActorName(e.From), e.Session, e.Step)
 }
 
+// SpoofError reports a message whose wire sender field disagreed with
+// the authenticated transport connection it arrived on — the second
+// attribution fault the hardened transport can detect, alongside the
+// TimeoutError for delays and drops. The message itself is delivered
+// re-attributed to the authenticated peer (guaranteed output delivery
+// is preserved); the error records the spoofing attempt so the
+// offender — From, not Claimed — can be convicted.
+type SpoofError struct {
+	// From is the authenticated sender the message was re-attributed to.
+	From int
+	// Claimed is the forged sender ID carried by the wire frame.
+	Claimed int
+	Session string
+	Step    string
+}
+
+// Error implements error.
+func (e *SpoofError) Error() string {
+	return fmt.Sprintf("party: %s spoofed sender %s (session %q, step %q)",
+		transport.ActorName(e.From), transport.ActorName(e.Claimed), e.Session, e.Step)
+}
+
 type msgKey struct {
 	from    int
 	session string
 	step    string
+}
+
+func keyOf(msg transport.Message) msgKey {
+	return msgKey{from: msg.From, session: msg.Session, step: msg.Step}
 }
 
 // Router is the single-consumer message demultiplexer for one actor.
@@ -43,13 +69,17 @@ type msgKey struct {
 // blocks in Expect/Gather for the peers' messages, while the router
 // buffers anything that arrives early or out of order.
 //
+// Buffered messages are kept in arrival order, so both per-key FIFO
+// (Expect) and global FIFO (Next) hold across interleaved sessions.
+//
 // Router is not safe for concurrent use; each actor drives exactly one
 // protocol at a time, mirroring the sequential round structure of
 // Algorithms 4 and 5.
 type Router struct {
 	ep      transport.Endpoint
 	timeout time.Duration
-	pending map[msgKey][]transport.Message
+	pending []transport.Message // buffered arrivals, oldest first
+	spoofs  []*SpoofError
 }
 
 // NewRouter wraps an endpoint. timeout <= 0 selects DefaultTimeout.
@@ -57,7 +87,7 @@ func NewRouter(ep transport.Endpoint, timeout time.Duration) *Router {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	return &Router{ep: ep, timeout: timeout, pending: make(map[msgKey][]transport.Message)}
+	return &Router{ep: ep, timeout: timeout}
 }
 
 // Self returns the actor ID.
@@ -81,18 +111,49 @@ func (r *Router) Broadcast(tos []int, session, step string, payload []byte) erro
 	return nil
 }
 
+// note records attribution faults carried by an inbound message. Every
+// message enters the router through exactly one recv call, so each
+// spoofed frame is recorded once.
+func (r *Router) note(msg transport.Message) {
+	if msg.Spoofed {
+		r.spoofs = append(r.spoofs, &SpoofError{
+			From:    msg.From,
+			Claimed: msg.ClaimedFrom,
+			Session: msg.Session,
+			Step:    msg.Step,
+		})
+	}
+}
+
+// Spoofs returns the attribution errors observed so far: one SpoofError
+// per inbound message whose wire sender field was forged. The transport
+// re-attributes such messages to the authenticated connection, so
+// protocol progress is unaffected — these records are the audit trail
+// for convicting the offender.
+func (r *Router) Spoofs() []*SpoofError {
+	out := make([]*SpoofError, len(r.spoofs))
+	copy(out, r.spoofs)
+	return out
+}
+
+// takePending removes and returns the oldest buffered message matching
+// key.
+func (r *Router) takePending(key msgKey) (transport.Message, bool) {
+	for i, msg := range r.pending {
+		if keyOf(msg) == key {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return msg, true
+		}
+	}
+	return transport.Message{}, false
+}
+
 // Expect blocks until a message with the given coordinates arrives,
 // buffering unrelated traffic. On expiry of the receive timer it
 // returns a *TimeoutError.
 func (r *Router) Expect(from int, session, step string) (transport.Message, error) {
 	key := msgKey{from: from, session: session, step: step}
-	if q := r.pending[key]; len(q) > 0 {
-		msg := q[0]
-		if len(q) == 1 {
-			delete(r.pending, key)
-		} else {
-			r.pending[key] = q[1:]
-		}
+	if msg, ok := r.takePending(key); ok {
 		return msg, nil
 	}
 	deadline := time.Now().Add(r.timeout)
@@ -108,11 +169,11 @@ func (r *Router) Expect(from int, session, step string) (transport.Message, erro
 			}
 			return transport.Message{}, err
 		}
-		got := msgKey{from: msg.From, session: msg.Session, step: msg.Step}
-		if got == key {
+		r.note(msg)
+		if keyOf(msg) == key {
 			return msg, nil
 		}
-		r.pending[got] = append(r.pending[got], msg)
+		r.pending = append(r.pending, msg)
 	}
 }
 
@@ -138,24 +199,26 @@ func (r *Router) Gather(froms []int, session, step string) (map[int]transport.Me
 	return out, firstErr
 }
 
-// Next returns the next message regardless of its coordinates:
-// buffered messages first (oldest per key), then fresh arrivals. It
-// powers servers that dispatch on message content rather than waiting
-// for known keys (e.g. a remote computing party's command loop).
+// Next returns the next message regardless of its coordinates: the
+// oldest buffered message first (FIFO across all keys, in arrival
+// order), then fresh arrivals. It powers servers that dispatch on
+// message content rather than waiting for known keys (e.g. a remote
+// computing party's command loop).
 func (r *Router) Next(timeout time.Duration) (transport.Message, error) {
-	for key, q := range r.pending {
-		msg := q[0]
-		if len(q) == 1 {
-			delete(r.pending, key)
-		} else {
-			r.pending[key] = q[1:]
-		}
+	if len(r.pending) > 0 {
+		msg := r.pending[0]
+		r.pending = r.pending[1:]
 		return msg, nil
 	}
-	return r.ep.Recv(timeout)
+	msg, err := r.ep.Recv(timeout)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	r.note(msg)
+	return msg, nil
 }
 
 // Drain discards buffered messages (between experiments).
 func (r *Router) Drain() {
-	r.pending = make(map[msgKey][]transport.Message)
+	r.pending = nil
 }

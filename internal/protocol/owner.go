@@ -116,8 +116,9 @@ func (s *OwnerService) Stats() OwnerStats {
 }
 
 // Run serves requests until a shutdown message arrives or the endpoint
-// closes. It is typically run on its own goroutine; Shutdown (from any
-// actor) or closing the network stops it.
+// closes. It is typically run on its own goroutine; Shutdown (from an
+// owner actor — computing parties cannot stop the service) or closing
+// the network stops it.
 func (s *OwnerService) Run() error {
 	const poll = 25 * time.Millisecond
 	for {
@@ -133,7 +134,14 @@ func (s *OwnerService) Run() error {
 			return err
 		}
 		if msg.Step == stepShutdown {
-			return nil
+			// Only the trusted owners (or the service's own actor) may
+			// stop the service; the hardened transport guarantees the
+			// attribution, so a Byzantine computing party cannot forge
+			// this command.
+			if msg.From == transport.ModelOwner || msg.From == transport.DataOwner || msg.From == s.ep.Self() {
+				return nil
+			}
+			continue
 		}
 		if err := s.dispatch(msg); err != nil {
 			return fmt.Errorf("protocol: owner %s handling %q/%q from %s: %w",

@@ -12,11 +12,12 @@ import (
 type ChanNetwork struct {
 	meter meter
 
-	mu      sync.Mutex
-	inboxes map[int]chan Message
-	claimed map[int]bool
-	closed  bool
-	done    chan struct{} // closed by Close to unblock receivers
+	mu          sync.Mutex
+	inboxes     map[int]chan Message
+	claimed     map[int]bool
+	closed      bool
+	sendTimeout time.Duration
+	done        chan struct{} // closed by Close to unblock receivers
 }
 
 var _ Network = (*ChanNetwork)(nil)
@@ -27,18 +28,35 @@ var _ Network = (*ChanNetwork)(nil)
 // generous headroom without unbounded growth.
 const inboxDepth = 256
 
+// defaultSendTimeout bounds how long a sender blocks on a full inbox
+// whose owner has stopped receiving. Honest receivers drain within a
+// protocol round, so the limit only fires for dead or wedged peers.
+const defaultSendTimeout = 5 * time.Second
+
 // NewChanNetwork creates an in-process network for the five TrustDDL
 // actors.
 func NewChanNetwork() *ChanNetwork {
 	n := &ChanNetwork{
-		inboxes: make(map[int]chan Message, NumActors),
-		claimed: make(map[int]bool, NumActors),
-		done:    make(chan struct{}),
+		inboxes:     make(map[int]chan Message, NumActors),
+		claimed:     make(map[int]bool, NumActors),
+		sendTimeout: defaultSendTimeout,
+		done:        make(chan struct{}),
 	}
 	for id := 1; id <= NumActors; id++ {
 		n.inboxes[id] = make(chan Message, inboxDepth)
 	}
 	return n
+}
+
+// SetSendTimeout bounds how long Send may block on a full inbox before
+// returning ErrTimeout (d <= 0 restores the default).
+func (n *ChanNetwork) SetSendTimeout(d time.Duration) {
+	if d <= 0 {
+		d = defaultSendTimeout
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sendTimeout = d
 }
 
 // Endpoint implements Network.
@@ -64,8 +82,8 @@ func (n *ChanNetwork) Stats() Stats { return n.meter.snapshot() }
 // ResetStats implements Network.
 func (n *ChanNetwork) ResetStats() { n.meter.reset() }
 
-// Close implements Network. Blocked receivers are unblocked with
-// ErrClosed.
+// Close implements Network. Blocked receivers and senders are unblocked
+// with ErrClosed.
 func (n *ChanNetwork) Close() error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -82,6 +100,14 @@ func (n *ChanNetwork) isClosed() bool {
 	return n.closed
 }
 
+// release frees an actor slot so a later Endpoint call can re-attach
+// (repeated experiments over one network).
+func (n *ChanNetwork) release(actor int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.claimed[actor] = false
+}
+
 type chanEndpoint struct {
 	net  *ChanNetwork
 	self int
@@ -96,15 +122,34 @@ func (e *chanEndpoint) Send(msg Message) error {
 	if e.isClosed() || e.net.isClosed() {
 		return ErrClosed
 	}
-	msg.From = e.self
+	if msg.From == 0 {
+		msg.From = e.self
+	}
 	e.net.mu.Lock()
 	inbox, ok := e.net.inboxes[msg.To]
+	sendTimeout := e.net.sendTimeout
 	e.net.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("transport: send to unknown actor %d", msg.To)
 	}
-	e.net.meter.record(msg)
-	inbox <- msg
+	select {
+	case inbox <- msg:
+	default:
+		// Inbox full: wait boundedly instead of wedging the sender on a
+		// receiver that died or stopped draining.
+		timer := time.NewTimer(sendTimeout)
+		defer timer.Stop()
+		select {
+		case inbox <- msg:
+		case <-e.net.done:
+			return ErrClosed
+		case <-timer.C:
+			return ErrTimeout
+		}
+	}
+	// Metering happens only after the delivery succeeded; the in-process
+	// handoff is both the send and the receive.
+	e.net.meter.recordSend(msg)
 	return nil
 }
 
@@ -118,6 +163,7 @@ func (e *chanEndpoint) Recv(timeout time.Duration) (Message, error) {
 	if timeout <= 0 {
 		select {
 		case msg := <-inbox:
+			e.net.meter.recordRecv(msg)
 			return msg, nil
 		case <-e.net.done:
 			return Message{}, ErrClosed
@@ -127,6 +173,7 @@ func (e *chanEndpoint) Recv(timeout time.Duration) (Message, error) {
 	defer timer.Stop()
 	select {
 	case msg := <-inbox:
+		e.net.meter.recordRecv(msg)
 		return msg, nil
 	case <-e.net.done:
 		return Message{}, ErrClosed
@@ -138,7 +185,10 @@ func (e *chanEndpoint) Recv(timeout time.Duration) (Message, error) {
 func (e *chanEndpoint) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.closed = true
+	if !e.closed {
+		e.closed = true
+		e.net.release(e.self)
+	}
 	return nil
 }
 

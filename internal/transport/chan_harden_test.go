@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChanSendFullInboxTimesOut(t *testing.T) {
+	n := NewChanNetwork()
+	defer n.Close()
+	n.SetSendTimeout(100 * time.Millisecond)
+	p1, err := n.Endpoint(Party1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill Party2's inbox; nobody is draining it.
+	for i := 0; i < inboxDepth; i++ {
+		if err := p1.Send(Message{To: Party2, Step: "fill"}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	start := time.Now()
+	err = p1.Send(Message{To: Party2, Step: "overflow"})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("overflow send err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("bounded send took %v", elapsed)
+	}
+	// The timed-out message must not be metered.
+	if st := n.Stats(); st.Messages != inboxDepth {
+		t.Fatalf("messages = %d, want %d (failed send metered?)", st.Messages, inboxDepth)
+	}
+}
+
+func TestChanCloseUnblocksFullInboxSender(t *testing.T) {
+	n := NewChanNetwork()
+	n.SetSendTimeout(time.Minute) // far longer than the test: Close must win
+	p1, err := n.Endpoint(Party1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < inboxDepth; i++ {
+		if err := p1.Send(Message{To: Party2, Step: "fill"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errc <- p1.Send(Message{To: Party2, Step: "blocked"})
+	}()
+	time.Sleep(50 * time.Millisecond) // let the sender block
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked send err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sender still blocked after network close")
+	}
+	wg.Wait()
+}
+
+func TestChanEndpointReattachAfterClose(t *testing.T) {
+	n := NewChanNetwork()
+	defer n.Close()
+	p1, err := n.Endpoint(Party1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Endpoint(Party1); err == nil {
+		t.Fatal("double attach of a live endpoint accepted")
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Send(Message{To: Party2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close send err = %v, want ErrClosed", err)
+	}
+	// Close released the slot: the actor can re-attach.
+	if _, err := n.Endpoint(Party1); err != nil {
+		t.Fatalf("re-attach after close: %v", err)
+	}
+}
+
+func TestLatencyDeliveryErrorsCounted(t *testing.T) {
+	base := NewChanNetwork()
+	n := WithLatency(base, 10*time.Millisecond)
+	defer n.Close()
+	p1, err := n.Endpoint(Party1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	// Actor 42 does not exist: the underlying Send fails in the
+	// background forwarder, which must count it rather than discard it.
+	if err := p1.Send(Message{To: 42, Step: "lost"}); err != nil {
+		t.Fatalf("latent send should accept and fail in background, got %v", err)
+	}
+	counter, ok := n.(DeliveryCounter)
+	if !ok {
+		t.Fatal("latency wrapper does not implement DeliveryCounter")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for counter.DeliveryErrors() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := counter.DeliveryErrors(); got != 1 {
+		t.Fatalf("DeliveryErrors = %d, want 1", got)
+	}
+}
+
+func TestLatencyCloseFlushesQueuedMessages(t *testing.T) {
+	base := NewChanNetwork()
+	n := WithLatency(base, 150*time.Millisecond)
+	p1, err := n.Endpoint(Party1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := n.Endpoint(Party2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := p1.Send(Message{To: Party2, Step: "queued"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close before the 150ms delay elapses: the queued messages must be
+	// flushed to the peer, not dropped.
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		msg, err := p2.Recv(2 * time.Second)
+		if err != nil {
+			t.Fatalf("flushed message %d: %v", i, err)
+		}
+		if msg.Step != "queued" || msg.From != Party1 {
+			t.Fatalf("flushed message %d mangled: %+v", i, msg)
+		}
+	}
+}

@@ -70,6 +70,21 @@ func FuzzReadFrame(f *testing.F) {
 	}
 	f.Add(buf.Bytes())
 	f.Add([]byte{0, 0, 0, 0})
+	// Boundary labels: zero-length session and step.
+	buf.Reset()
+	if err := writeFrame(&buf, Message{From: 1, To: 2}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// Maximal label length (0xffff) in the session field.
+	buf.Reset()
+	if err := writeFrame(&buf, Message{From: 1, To: 2, Session: string(make([]byte, 0xffff)), Step: "s"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// Length prefix beyond maxFrame (1 GiB + 1): must be rejected
+	// without allocating the claimed body.
+	f.Add([]byte{0x01, 0x00, 0x00, 0x40, 0x01, 0x02})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := readFrame(bytes.NewReader(data))
 		if err != nil {
@@ -86,6 +101,37 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if back.Session != msg.Session || back.Step != msg.Step || !bytes.Equal(back.Payload, msg.Payload) {
 			t.Fatal("frame round trip changed content")
+		}
+	})
+}
+
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add("", "", []byte(nil))
+	f.Add("sess", "step", []byte{1, 2, 3})
+	f.Add(string(make([]byte, 0xffff)), "x", []byte{})
+	f.Add("s", string(make([]byte, 0x10000)), []byte{9}) // step label one past the u16 limit
+	f.Fuzz(func(t *testing.T, session, step string, payload []byte) {
+		in := Message{From: 1, To: 2, Session: session, Step: step, Payload: payload}
+		var buf bytes.Buffer
+		err := writeFrame(&buf, in)
+		if len(session) > 0xffff || len(step) > 0xffff {
+			if err == nil {
+				t.Fatal("oversized label accepted by writeFrame")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("writeFrame: %v", err)
+		}
+		out, err := readFrame(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("readFrame on own output: %v", err)
+		}
+		if out.From != in.From || out.To != in.To || out.Session != in.Session || out.Step != in.Step || !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("round trip changed frame: in=%+v out=%+v", in, out)
+		}
+		if got := buf.Len(); got != in.wireSize() {
+			t.Fatalf("wireSize() = %d, actual frame = %d bytes", in.wireSize(), got)
 		}
 	})
 }

@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,6 +17,11 @@ import (
 // propagation delay (pipelined sends overlap their latencies, as on a
 // real link, and FIFO order per sender is preserved). Bandwidth
 // simulation is out of scope — the byte meter already reports volume.
+//
+// Delivery failures in the background forwarder are not silent: the
+// first is logged, every one is counted (see DeliveryCounter), and
+// Close flushes messages still queued behind their delay instead of
+// dropping them.
 func WithLatency(n Network, d time.Duration) Network {
 	if d <= 0 {
 		return n
@@ -22,11 +29,25 @@ func WithLatency(n Network, d time.Duration) Network {
 	return &latentNetwork{Network: n, delay: d}
 }
 
+// DeliveryCounter reports background delivery failures of a wrapping
+// transport. The network returned by WithLatency implements it.
+type DeliveryCounter interface {
+	// DeliveryErrors is the number of queued messages whose underlying
+	// Send failed after the propagation delay.
+	DeliveryErrors() int64
+}
+
 type latentNetwork struct {
 	Network
 
 	delay time.Duration
+	errs  atomic.Int64
 }
+
+var _ DeliveryCounter = (*latentNetwork)(nil)
+
+// DeliveryErrors implements DeliveryCounter.
+func (l *latentNetwork) DeliveryErrors() int64 { return l.errs.Load() }
 
 func (l *latentNetwork) Endpoint(actor int) (Endpoint, error) {
 	ep, err := l.Network.Endpoint(actor)
@@ -35,9 +56,11 @@ func (l *latentNetwork) Endpoint(actor int) (Endpoint, error) {
 	}
 	le := &latentEndpoint{
 		Endpoint: ep,
+		parent:   l,
 		delay:    l.delay,
 		queue:    make(chan delayedMessage, 1024),
 		done:     make(chan struct{}),
+		loopExit: make(chan struct{}),
 	}
 	go le.deliverLoop()
 	return le, nil
@@ -51,16 +74,21 @@ type delayedMessage struct {
 type latentEndpoint struct {
 	Endpoint
 
-	delay time.Duration
-	queue chan delayedMessage
+	parent *latentNetwork
+	delay  time.Duration
+	queue  chan delayedMessage
 
+	logOnce   sync.Once
 	closeOnce sync.Once
 	done      chan struct{}
+	loopExit  chan struct{}
 }
 
 // deliverLoop forwards queued messages once their propagation delay
-// has elapsed, preserving send order.
+// has elapsed, preserving send order. A message already dequeued when
+// Close fires is forwarded immediately rather than dropped.
 func (e *latentEndpoint) deliverLoop() {
+	defer close(e.loopExit)
 	for {
 		select {
 		case dm := <-e.queue:
@@ -70,18 +98,33 @@ func (e *latentEndpoint) deliverLoop() {
 				case <-timer.C:
 				case <-e.done:
 					timer.Stop()
+					e.forward(dm.msg)
 					return
 				}
 			}
-			_ = e.Endpoint.Send(dm.msg)
+			e.forward(dm.msg)
 		case <-e.done:
 			return
 		}
 	}
 }
 
+// forward hands a due message to the underlying transport, counting
+// (and logging once) delivery failures instead of discarding them.
+func (e *latentEndpoint) forward(msg Message) {
+	if err := e.Endpoint.Send(msg); err != nil {
+		e.parent.errs.Add(1)
+		e.logOnce.Do(func() {
+			log.Printf("transport: latency wrapper: delivery %s→%s failed: %v (further failures counted, see DeliveryErrors)",
+				ActorName(e.Self()), ActorName(msg.To), err)
+		})
+	}
+}
+
 func (e *latentEndpoint) Send(msg Message) error {
-	msg.From = e.Self()
+	if msg.From == 0 {
+		msg.From = e.Self()
+	}
 	select {
 	case e.queue <- delayedMessage{msg: msg, due: time.Now().Add(e.delay)}:
 		return nil
@@ -90,7 +133,18 @@ func (e *latentEndpoint) Send(msg Message) error {
 	}
 }
 
+// Close stops the forwarder, flushes messages still queued behind
+// their propagation delay (they are delivered immediately; failures
+// are counted), and then closes the underlying endpoint.
 func (e *latentEndpoint) Close() error {
 	e.closeOnce.Do(func() { close(e.done) })
-	return e.Endpoint.Close()
+	<-e.loopExit
+	for {
+		select {
+		case dm := <-e.queue:
+			e.forward(dm.msg)
+		default:
+			return e.Endpoint.Close()
+		}
+	}
 }

@@ -52,12 +52,25 @@ type Message struct {
 	Session string
 	Step    string
 	Payload []byte
+
+	// Spoofed marks a message whose wire From field disagreed with the
+	// authenticated identity of the connection it arrived on. From has
+	// been re-attributed to the authenticated peer; ClaimedFrom keeps
+	// the forged value so receivers can convict the real sender of the
+	// spoofing attempt. Neither field travels on the wire.
+	Spoofed     bool
+	ClaimedFrom int
 }
 
-// headerOverhead approximates the framing cost per message counted by
-// the byte meter: routing fields plus length prefixes.
+// frameHeader is the exact framing cost per message on the TCP
+// transport: u32 body length + u8 from + u8 to + two u16 label-length
+// prefixes (see writeFrame). The byte meter uses the same figure on
+// every transport so channel and TCP runs report comparable volume.
+const frameHeader = 4 + 1 + 1 + 2 + 2
+
+// wireSize is the exact number of bytes one frame occupies on the wire.
 func (m Message) wireSize() int {
-	return 16 + len(m.Session) + len(m.Step) + len(m.Payload)
+	return frameHeader + len(m.Session) + len(m.Step) + len(m.Payload)
 }
 
 // Errors shared by all transports.

@@ -2,36 +2,57 @@ package transport
 
 import "sync"
 
-// Stats aggregates traffic counters for one network.
+// Stats aggregates traffic counters for one network, kept separately
+// for the two directions. In a multi-process deployment each process
+// meters only its own endpoints: what the local endpoints put on the
+// wire (Messages/Bytes) and what they took off it
+// (RecvMessages/RecvBytes). On a single-process network (channel or
+// loopback TCP) the two directions therefore mirror each other.
 type Stats struct {
-	// Messages is the total number of messages delivered.
+	// Messages is the total number of messages sent by local endpoints.
 	Messages int64
-	// Bytes is the total wire volume (payload plus framing estimate).
+	// Bytes is the total sent wire volume (payload plus framing). The
+	// Table II "Comm. (MB)" column is this counter.
 	Bytes int64
-	// PerActor breaks the totals down by sending actor (index = actor
-	// ID; index 0 unused).
+	// RecvMessages is the total number of messages received by local
+	// endpoints.
+	RecvMessages int64
+	// RecvBytes is the total received wire volume.
+	RecvBytes int64
+	// PerActor breaks the totals down by actor (index = actor ID;
+	// index 0 unused): sends are attributed to the sending actor,
+	// receives to the receiving actor.
 	PerActor [NumActors + 1]ActorStats
 }
 
-// ActorStats counts one actor's outbound traffic.
+// ActorStats counts one actor's traffic in both directions.
 type ActorStats struct {
-	Messages int64
-	Bytes    int64
+	Messages     int64
+	Bytes        int64
+	RecvMessages int64
+	RecvBytes    int64
 }
 
-// MegaBytes converts the byte total to the MB unit used by Table II.
+// MegaBytes converts the sent-byte total to the MB unit used by
+// Table II.
 func (s Stats) MegaBytes() float64 {
 	return float64(s.Bytes) / (1024 * 1024)
 }
 
+// RecvMegaBytes converts the received-byte total to MB.
+func (s Stats) RecvMegaBytes() float64 {
+	return float64(s.RecvBytes) / (1024 * 1024)
+}
+
 // meter is the concurrency-safe counter shared by a network's
-// endpoints.
+// endpoints. Both directions are recorded only after the corresponding
+// I/O succeeded, so a broken connection never inflates the counters.
 type meter struct {
 	mu    sync.Mutex
 	stats Stats
 }
 
-func (m *meter) record(msg Message) {
+func (m *meter) recordSend(msg Message) {
 	sz := int64(msg.wireSize())
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -40,6 +61,18 @@ func (m *meter) record(msg Message) {
 	if msg.From >= 1 && msg.From <= NumActors {
 		m.stats.PerActor[msg.From].Messages++
 		m.stats.PerActor[msg.From].Bytes += sz
+	}
+}
+
+func (m *meter) recordRecv(msg Message) {
+	sz := int64(msg.wireSize())
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.RecvMessages++
+	m.stats.RecvBytes += sz
+	if msg.To >= 1 && msg.To <= NumActors {
+		m.stats.PerActor[msg.To].RecvMessages++
+		m.stats.PerActor[msg.To].RecvBytes += sz
 	}
 }
 

@@ -13,16 +13,39 @@ import (
 // TCPNetwork is the distributed transport: each actor listens on its
 // own TCP address and peers exchange length-prefixed frames over lazily
 // established connections. One process may host any subset of the
-// actors (cmd/trustddl-party hosts exactly one); the traffic meter
-// counts what the local process sends and receives.
+// actors (cmd/trustddl-party hosts exactly one).
+//
+// Every connection starts with a six-byte hello/ack handshake that
+// pins the dialing actor's identity on the accepting side. Inbound
+// frames are attributed to that pinned identity — the wire From byte is
+// never trusted; a mismatch re-attributes the message to the
+// authenticated peer and marks it Spoofed so the protocol layer can
+// convict the forger. Frames whose To field does not name the receiving
+// endpoint are dropped.
+//
+// Sends carry a per-attempt write deadline and redial broken
+// connections with bounded exponential backoff, so a stalled or
+// restarted peer cannot wedge a protocol round indefinitely: Send
+// either completes or fails within the configured budget, and a party
+// that is killed and restarted on the same address is picked up again
+// by the next redial.
+//
+// The traffic meter counts what the local process's endpoints put on
+// and take off the wire, per direction, recording a message only after
+// its I/O succeeded. The constant 12-byte connection handshake is
+// excluded so channel and TCP runs report identical per-message volume.
 type TCPNetwork struct {
 	meter meter
 
-	mu        sync.Mutex
-	addrs     map[int]string
-	listeners map[int]net.Listener
-	closed    bool
-	endpoints []*tcpEndpoint
+	mu           sync.Mutex
+	addrs        map[int]string
+	listeners    map[int]net.Listener
+	closed       bool
+	endpoints    []*tcpEndpoint
+	dialTimeout  time.Duration
+	sendTimeout  time.Duration
+	sendAttempts int
+	retryBackoff time.Duration
 }
 
 var _ Network = (*TCPNetwork)(nil)
@@ -30,6 +53,21 @@ var _ Network = (*TCPNetwork)(nil)
 // maxFrame bounds a single message frame (1 GiB) to fail fast on
 // corrupted length prefixes.
 const maxFrame = 1 << 30
+
+// Dial/send policy defaults. The per-attempt budget plus the backoff
+// ladder stays within a few seconds so a stalled peer surfaces as a
+// Send error near the router's receive timer instead of wedging the
+// round.
+const (
+	defaultDialTimeout  = 2 * time.Second
+	defaultTCPSendLimit = 2 * time.Second
+	defaultSendAttempts = 3
+	defaultRetryBackoff = 50 * time.Millisecond
+)
+
+// handshakeMagic opens the six-byte connection hello ("TDL1" + from +
+// to) and the acceptor's ack ("TDL1" + self + 0).
+var handshakeMagic = [4]byte{'T', 'D', 'L', '1'}
 
 // NewTCPNetwork creates a TCP transport over the given actor→address
 // map. Addresses of remote actors are dialed on demand; Endpoint may
@@ -59,8 +97,54 @@ func NewLoopbackTCPNetwork() (*TCPNetwork, error) {
 	return n, nil
 }
 
+// SetDialTimeout bounds each connection attempt, handshake included
+// (d <= 0 restores the default).
+func (n *TCPNetwork) SetDialTimeout(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dialTimeout = d
+}
+
+// SetSendTimeout bounds each frame write (d <= 0 restores the default).
+func (n *TCPNetwork) SetSendTimeout(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sendTimeout = d
+}
+
+// SetRetryPolicy configures redial-with-backoff: attempts per Send
+// (including the first) and the initial backoff, which doubles per
+// retry. Zero values restore the defaults.
+func (n *TCPNetwork) SetRetryPolicy(attempts int, backoff time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sendAttempts = attempts
+	n.retryBackoff = backoff
+}
+
+func (n *TCPNetwork) policy() (dial, send time.Duration, attempts int, backoff time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	dial, send, attempts, backoff = n.dialTimeout, n.sendTimeout, n.sendAttempts, n.retryBackoff
+	if dial <= 0 {
+		dial = defaultDialTimeout
+	}
+	if send <= 0 {
+		send = defaultTCPSendLimit
+	}
+	if attempts <= 0 {
+		attempts = defaultSendAttempts
+	}
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	return dial, send, attempts, backoff
+}
+
 // Endpoint implements Network. The actor's listener is created here if
-// NewLoopbackTCPNetwork did not pre-bind it.
+// NewLoopbackTCPNetwork did not pre-bind it (or if a previous endpoint
+// for this actor was closed, which releases its listener — a restarted
+// party re-binds the same address).
 func (n *TCPNetwork) Endpoint(actor int) (Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -86,9 +170,11 @@ func (n *TCPNetwork) Endpoint(actor int) (Endpoint, error) {
 		listener: l,
 		inbox:    make(chan Message, inboxDepth),
 		conns:    make(map[int]*tcpConn),
+		inbound:  make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
 	}
 	n.endpoints = append(n.endpoints, ep)
+	ep.loops.Add(1)
 	go ep.acceptLoop()
 	return ep, nil
 }
@@ -99,7 +185,8 @@ func (n *TCPNetwork) Stats() Stats { return n.meter.snapshot() }
 // ResetStats implements Network.
 func (n *TCPNetwork) ResetStats() { n.meter.reset() }
 
-// Close implements Network.
+// Close implements Network: every endpoint is closed gracefully and all
+// listeners released.
 func (n *TCPNetwork) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -107,16 +194,36 @@ func (n *TCPNetwork) Close() error {
 		return nil
 	}
 	n.closed = true
-	eps := n.endpoints
-	listeners := n.listeners
+	eps := append([]*tcpEndpoint(nil), n.endpoints...)
 	n.mu.Unlock()
 	for _, ep := range eps {
 		_ = ep.Close()
 	}
+	n.mu.Lock()
+	listeners := n.listeners
+	n.listeners = make(map[int]net.Listener)
+	n.mu.Unlock()
 	for _, l := range listeners {
 		_ = l.Close()
 	}
 	return nil
+}
+
+// removeEndpoint unregisters a closed endpoint and releases its
+// listener so repeated experiments (or a restarted party) can
+// re-attach the actor without leaking endpoints.
+func (n *TCPNetwork) removeEndpoint(ep *tcpEndpoint) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, e := range n.endpoints {
+		if e == ep {
+			n.endpoints = append(n.endpoints[:i], n.endpoints[i+1:]...)
+			break
+		}
+	}
+	if n.listeners[ep.self] == ep.listener {
+		delete(n.listeners, ep.self)
+	}
 }
 
 func (n *TCPNetwork) addrOf(actor int) (string, bool) {
@@ -136,32 +243,76 @@ type tcpEndpoint struct {
 	self     int
 	listener net.Listener
 	inbox    chan Message
+	loops    sync.WaitGroup // accept loop + read loops
 
-	mu     sync.Mutex
-	conns  map[int]*tcpConn // outbound connections by destination
-	closed bool
-	done   chan struct{}
+	mu      sync.Mutex
+	conns   map[int]*tcpConn // outbound connections by destination
+	inbound map[net.Conn]struct{}
+	closed  bool
+	done    chan struct{}
 }
 
 func (e *tcpEndpoint) Self() int { return e.self }
 
 func (e *tcpEndpoint) acceptLoop() {
+	defer e.loops.Done()
 	for {
 		c, err := e.listener.Accept()
 		if err != nil {
 			return // listener closed
 		}
+		if !e.trackInbound(c) {
+			_ = c.Close()
+			return
+		}
+		e.loops.Add(1)
 		go e.readLoop(c)
 	}
 }
 
+func (e *tcpEndpoint) trackInbound(c net.Conn) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	e.inbound[c] = struct{}{}
+	return true
+}
+
+func (e *tcpEndpoint) untrackInbound(c net.Conn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.inbound, c)
+}
+
+// readLoop authenticates the connection via the handshake hello, then
+// attributes every inbound frame to the pinned peer identity.
 func (e *tcpEndpoint) readLoop(c net.Conn) {
+	defer e.loops.Done()
+	defer e.untrackInbound(c)
 	defer c.Close()
+	dial, _, _, _ := e.net.policy()
+	peer, err := acceptHandshake(c, e.self, dial)
+	if err != nil {
+		return // unauthenticated connection: refuse all traffic
+	}
 	for {
 		msg, err := readFrame(c)
 		if err != nil {
 			return
 		}
+		if msg.To != e.self {
+			continue // misrouted frame: not for this endpoint
+		}
+		if msg.From != peer {
+			// Wire attribution disagrees with the authenticated
+			// connection: re-attribute and flag, never trust the frame.
+			msg.ClaimedFrom = msg.From
+			msg.From = peer
+			msg.Spoofed = true
+		}
+		e.net.meter.recordRecv(msg)
 		select {
 		case e.inbox <- msg:
 		case <-e.done:
@@ -170,29 +321,116 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 	}
 }
 
+// acceptHandshake reads the dialer's hello, validates it against the
+// accepting actor and acknowledges, returning the pinned peer ID.
+func acceptHandshake(c net.Conn, self int, timeout time.Duration) (int, error) {
+	_ = c.SetDeadline(time.Now().Add(timeout))
+	defer c.SetDeadline(time.Time{})
+	var hello [6]byte
+	if _, err := io.ReadFull(c, hello[:]); err != nil {
+		return 0, err
+	}
+	if [4]byte(hello[:4]) != handshakeMagic {
+		return 0, errors.New("transport: bad handshake magic")
+	}
+	peer, to := int(hello[4]), int(hello[5])
+	if peer < 1 || peer > NumActors {
+		return 0, fmt.Errorf("transport: handshake from unknown actor %d", peer)
+	}
+	if to != self {
+		return 0, fmt.Errorf("transport: handshake addressed to actor %d, this endpoint is %s", to, ActorName(self))
+	}
+	ack := [6]byte{handshakeMagic[0], handshakeMagic[1], handshakeMagic[2], handshakeMagic[3], byte(self), 0}
+	if _, err := c.Write(ack[:]); err != nil {
+		return 0, err
+	}
+	return peer, nil
+}
+
+// dialHandshake announces the dialer's identity and verifies the
+// acceptor is the intended actor.
+func dialHandshake(c net.Conn, self, peer int, timeout time.Duration) error {
+	_ = c.SetDeadline(time.Now().Add(timeout))
+	defer c.SetDeadline(time.Time{})
+	hello := [6]byte{handshakeMagic[0], handshakeMagic[1], handshakeMagic[2], handshakeMagic[3], byte(self), byte(peer)}
+	if _, err := c.Write(hello[:]); err != nil {
+		return err
+	}
+	var ack [6]byte
+	if _, err := io.ReadFull(c, ack[:]); err != nil {
+		return err
+	}
+	if [4]byte(ack[:4]) != handshakeMagic {
+		return errors.New("transport: bad handshake ack")
+	}
+	if got := int(ack[4]); got != peer {
+		return fmt.Errorf("transport: dialed %s but reached %s", ActorName(peer), ActorName(got))
+	}
+	return nil
+}
+
+// Send writes one frame with a per-attempt deadline, redialing broken
+// connections with bounded exponential backoff. It fails within the
+// configured attempt budget instead of wedging on a stalled peer.
 func (e *tcpEndpoint) Send(msg Message) error {
 	if e.isClosed() {
 		return ErrClosed
 	}
-	msg.From = e.self
-	conn, err := e.connTo(msg.To)
-	if err != nil {
-		return err
+	if msg.From == 0 {
+		msg.From = e.self
 	}
-	e.net.meter.record(msg) // outbound accounting, mirroring ChanNetwork
+	_, sendLimit, attempts, backoff := e.net.policy()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			// Backoff before redialing, doubling per retry; Close
+			// releases waiting senders immediately.
+			timer := time.NewTimer(backoff << (attempt - 1))
+			select {
+			case <-timer.C:
+			case <-e.done:
+				timer.Stop()
+				return ErrClosed
+			}
+		}
+		if e.isClosed() {
+			return ErrClosed
+		}
+		conn, err := e.connTo(msg.To)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := e.writeOnce(conn, msg, sendLimit); err != nil {
+			e.dropConn(msg.To, conn)
+			lastErr = err
+			continue
+		}
+		// Outbound accounting only after the frame actually left.
+		e.net.meter.recordSend(msg)
+		return nil
+	}
+	return fmt.Errorf("transport: send %s→%s after %d attempts: %w",
+		ActorName(e.self), ActorName(msg.To), attempts, lastErr)
+}
+
+func (e *tcpEndpoint) writeOnce(conn *tcpConn, msg Message, limit time.Duration) error {
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
-	if err := writeFrame(conn.c, msg); err != nil {
-		// Drop the broken connection so the next Send redials.
-		e.mu.Lock()
-		if e.conns[msg.To] == conn {
-			delete(e.conns, msg.To)
-		}
-		e.mu.Unlock()
-		_ = conn.c.Close()
-		return fmt.Errorf("transport: send %s→%s: %w", ActorName(e.self), ActorName(msg.To), err)
+	_ = conn.c.SetWriteDeadline(time.Now().Add(limit))
+	err := writeFrame(conn.c, msg)
+	_ = conn.c.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// dropConn discards a broken connection so the next attempt redials.
+func (e *tcpEndpoint) dropConn(actor int, conn *tcpConn) {
+	e.mu.Lock()
+	if e.conns[actor] == conn {
+		delete(e.conns, actor)
 	}
-	return nil
+	e.mu.Unlock()
+	_ = conn.c.Close()
 }
 
 func (e *tcpEndpoint) connTo(actor int) (*tcpConn, error) {
@@ -207,21 +445,32 @@ func (e *tcpEndpoint) connTo(actor int) (*tcpConn, error) {
 	if !ok {
 		return nil, fmt.Errorf("transport: no address for actor %d", actor)
 	}
-	raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	dialTimeout, _, _, _ := e.net.policy()
+	raw, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s at %s: %w", ActorName(actor), addr, err)
 	}
 	if tc, ok := raw.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true) // protocol rounds are latency-bound
 	}
+	if err := dialHandshake(raw, e.self, actor, dialTimeout); err != nil {
+		_ = raw.Close()
+		return nil, fmt.Errorf("transport: handshake with %s at %s: %w", ActorName(actor), addr, err)
+	}
 	c := &tcpConn{c: raw}
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	if e.closed {
+		e.mu.Unlock()
+		_ = raw.Close()
+		return nil, ErrClosed
+	}
 	if existing, ok := e.conns[actor]; ok {
+		e.mu.Unlock()
 		_ = raw.Close() // lost the race; reuse the winner
 		return existing, nil
 	}
 	e.conns[actor] = c
+	e.mu.Unlock()
 	return c, nil
 }
 
@@ -249,6 +498,10 @@ func (e *tcpEndpoint) Recv(timeout time.Duration) (Message, error) {
 	}
 }
 
+// Close shuts the endpoint down gracefully: senders and receivers are
+// unblocked, all connections closed, the accept/read goroutines drained
+// and the endpoint unregistered from its network (releasing the
+// listener for a future re-attach of the same actor).
 func (e *tcpEndpoint) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -259,11 +512,20 @@ func (e *tcpEndpoint) Close() error {
 	close(e.done)
 	conns := e.conns
 	e.conns = make(map[int]*tcpConn)
+	inbound := make([]net.Conn, 0, len(e.inbound))
+	for c := range e.inbound {
+		inbound = append(inbound, c)
+	}
 	e.mu.Unlock()
+	_ = e.listener.Close()
 	for _, c := range conns {
 		_ = c.c.Close()
 	}
-	_ = e.listener.Close()
+	for _, c := range inbound {
+		_ = c.Close()
+	}
+	e.loops.Wait()
+	e.net.removeEndpoint(e)
 	return nil
 }
 
@@ -274,7 +536,9 @@ func (e *tcpEndpoint) isClosed() bool {
 }
 
 // Frame layout: u32 body length | u8 from | u8 to | u16 sessLen | sess |
-// u16 stepLen | step | payload.
+// u16 stepLen | step | payload. The From byte is informational on the
+// authenticated TCP path — receivers attribute frames to the handshake
+// identity and only use the wire byte to detect spoofing.
 func writeFrame(w io.Writer, msg Message) error {
 	if len(msg.Session) > 0xffff || len(msg.Step) > 0xffff {
 		return fmt.Errorf("transport: session/step label too long")

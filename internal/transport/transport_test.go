@@ -95,15 +95,21 @@ func TestChanNetworkStats(t *testing.T) {
 		}
 	}
 	st := n.Stats()
-	if st.Messages != 3 {
-		t.Fatalf("messages = %d, want 3", st.Messages)
+	if st.Messages != 3 || st.RecvMessages != 3 {
+		t.Fatalf("messages = %d sent / %d received, want 3 / 3", st.Messages, st.RecvMessages)
 	}
-	wantBytes := int64(3 * (16 + 1 + 1 + 100))
+	wantBytes := int64(3 * (frameHeader + 1 + 1 + 100))
 	if st.Bytes != wantBytes {
 		t.Fatalf("bytes = %d, want %d", st.Bytes, wantBytes)
 	}
+	if st.RecvBytes != wantBytes {
+		t.Fatalf("recv bytes = %d, want %d", st.RecvBytes, wantBytes)
+	}
 	if st.PerActor[Party1].Messages != 3 || st.PerActor[Party2].Messages != 0 {
-		t.Fatalf("per-actor stats wrong: %+v", st.PerActor)
+		t.Fatalf("per-actor send stats wrong: %+v", st.PerActor)
+	}
+	if st.PerActor[Party2].RecvMessages != 3 || st.PerActor[Party1].RecvMessages != 0 {
+		t.Fatalf("per-actor recv stats wrong: %+v", st.PerActor)
 	}
 	n.ResetStats()
 	if n.Stats().Messages != 0 {
