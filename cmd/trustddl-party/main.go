@@ -9,6 +9,7 @@
 //
 //	trustddl-party -party 1 \
 //	  -addrs "1=10.0.0.1:7001,2=10.0.0.2:7001,3=10.0.0.3:7001,4=10.0.0.4:7001,5=10.0.0.5:7001" \
+//	  -key <seed-hex> -peer-keys "1=<pub>,2=<pub>,3=<pub>,4=<pub>,5=<pub>" \
 //	  [-hbc] [-timeout 5s] [-send-timeout 2s] [-dial-timeout 2s] \
 //	  [-send-retries 3] [-retry-backoff 50ms]
 //
@@ -17,6 +18,14 @@
 // connections are drained and the mesh endpoint unregistered); peers
 // that restart are picked up again by the transport's
 // redial-with-backoff.
+//
+// Identity keys: run `trustddl-party -genkey` once per actor, keep the
+// seed private to that actor and share the public key with everyone.
+// With -key/-peer-keys the mesh runs mutually authenticated ed25519
+// handshakes, so sender attribution (and Byzantine spoof conviction)
+// holds even against malicious insiders. Without keys the mesh falls
+// back to identification-only handshakes with a best-effort source-IP
+// screen — fine for trusted networks, unsound for Byzantine attribution.
 package main
 
 import (
@@ -54,13 +63,28 @@ func run(args []string) error {
 	dialTimeout := fs.Duration("dial-timeout", 0, "per-attempt dial+handshake deadline (0 = transport default)")
 	sendRetries := fs.Int("send-retries", 0, "send attempts incl. redials per message (0 = transport default)")
 	retryBackoff := fs.Duration("retry-backoff", 0, "initial redial backoff, doubled per retry (0 = transport default)")
+	genKey := fs.Bool("genkey", false, "generate a fresh ed25519 identity (seed + public key) and exit")
+	keySeed := fs.String("key", "", "this party's ed25519 seed in hex (from -genkey); enables authenticated handshakes")
+	peerKeys := fs.String("peer-keys", "", "all five actors' ed25519 public keys as 'id=hex' pairs, comma separated (required with -key)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *genKey {
+		seed, pub, err := transport.GenerateSeedHex()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("seed (keep private, pass via -key):   %s\npublic (share, list in -peer-keys):   %s\n", seed, pub)
+		return nil
 	}
 	if *partyID < 1 || *partyID > 3 {
 		return fmt.Errorf("-party must be 1, 2 or 3")
 	}
 	addrMap, err := parseAddrs(*addrs)
+	if err != nil {
+		return err
+	}
+	keyring, err := buildKeyring(*partyID, *keySeed, *peerKeys)
 	if err != nil {
 		return err
 	}
@@ -74,6 +98,9 @@ func run(args []string) error {
 	netw.SetSendTimeout(*sendTimeout)
 	netw.SetDialTimeout(*dialTimeout)
 	netw.SetRetryPolicy(*sendRetries, *retryBackoff)
+	if keyring != nil {
+		netw.SetKeyring(keyring)
+	}
 	ep, err := netw.Endpoint(*partyID)
 	if err != nil {
 		return err
@@ -118,22 +145,54 @@ func parseAddrs(s string) (map[int]string, error) {
 	if s == "" {
 		return nil, fmt.Errorf("-addrs is required")
 	}
+	return parsePairs(s, "address")
+}
+
+// parsePairs parses comma-separated 'id=value' pairs covering all five
+// actors — the shared format of -addrs and -peer-keys.
+func parsePairs(s, what string) (map[int]string, error) {
 	out := make(map[int]string, transport.NumActors)
 	for _, pair := range strings.Split(s, ",") {
-		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		id, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
 		if !ok {
-			return nil, fmt.Errorf("malformed address pair %q (want id=host:port)", pair)
+			return nil, fmt.Errorf("malformed %s pair %q (want id=%s)", what, pair, what)
 		}
 		n, err := strconv.Atoi(id)
 		if err != nil || n < 1 || n > transport.NumActors {
 			return nil, fmt.Errorf("bad actor id %q", id)
 		}
-		out[n] = addr
+		out[n] = val
 	}
 	for n := 1; n <= transport.NumActors; n++ {
 		if _, ok := out[n]; !ok {
-			return nil, fmt.Errorf("missing address for actor %d (%s)", n, transport.ActorName(n))
+			return nil, fmt.Errorf("missing %s for actor %d (%s)", what, n, transport.ActorName(n))
 		}
 	}
 	return out, nil
+}
+
+// buildKeyring assembles the mesh keyring from the -key/-peer-keys
+// flags; both or neither must be given. A nil, nil return means the
+// operator chose the unkeyed (identification-only) mesh.
+func buildKeyring(self int, seedHex, peerKeys string) (*transport.Keyring, error) {
+	switch {
+	case seedHex == "" && peerKeys == "":
+		return nil, nil
+	case seedHex == "":
+		return nil, fmt.Errorf("-peer-keys requires -key (this party's own seed)")
+	case peerKeys == "":
+		return nil, fmt.Errorf("-key requires -peer-keys (all five public keys)")
+	}
+	pubs, err := parsePairs(peerKeys, "public key")
+	if err != nil {
+		return nil, err
+	}
+	kr, err := transport.KeyringFromHex(pubs)
+	if err != nil {
+		return nil, err
+	}
+	if err := kr.AddPrivateSeedHex(self, seedHex); err != nil {
+		return nil, err
+	}
+	return kr, nil
 }

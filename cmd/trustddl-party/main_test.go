@@ -1,8 +1,11 @@
 package main
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+
+	"github.com/trustddl/trustddl/internal/transport"
 )
 
 func TestParseAddrs(t *testing.T) {
@@ -41,5 +44,53 @@ func TestRunValidatesFlags(t *testing.T) {
 	}
 	if err := run([]string{"-party", "1", "-addrs", "1=a,2=b,3=c,4=d,5=e", "-frac-bits", "99"}); err == nil {
 		t.Fatal("bad precision accepted")
+	}
+}
+
+func TestRunGenKey(t *testing.T) {
+	// -genkey needs no other flags and must not try to serve.
+	if err := run([]string{"-genkey"}); err != nil {
+		t.Fatalf("genkey: %v", err)
+	}
+}
+
+func TestBuildKeyring(t *testing.T) {
+	seeds := make(map[int]string, transport.NumActors)
+	var pairs []string
+	for id := 1; id <= transport.NumActors; id++ {
+		seed, pub, err := transport.GenerateSeedHex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds[id] = seed
+		pairs = append(pairs, fmt.Sprintf("%d=%s", id, pub))
+	}
+	peerKeys := strings.Join(pairs, ",")
+
+	kr, err := buildKeyring(1, seeds[1], peerKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kr == nil {
+		t.Fatal("keyring not built")
+	}
+	// Neither flag: unkeyed mesh, no error.
+	if kr, err := buildKeyring(1, "", ""); err != nil || kr != nil {
+		t.Fatalf("unkeyed: kr=%v err=%v", kr, err)
+	}
+	// One flag without the other is a config error.
+	if _, err := buildKeyring(1, seeds[1], ""); err == nil {
+		t.Fatal("-key without -peer-keys accepted")
+	}
+	if _, err := buildKeyring(1, "", peerKeys); err == nil {
+		t.Fatal("-peer-keys without -key accepted")
+	}
+	// A seed that does not match this party's published key must fail
+	// before the server ever binds.
+	if _, err := buildKeyring(1, seeds[2], peerKeys); err == nil {
+		t.Fatal("mismatched seed accepted")
+	}
+	if _, err := buildKeyring(1, "not-hex", peerKeys); err == nil {
+		t.Fatal("garbage seed accepted")
 	}
 }

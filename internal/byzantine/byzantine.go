@@ -146,12 +146,14 @@ func Delay(d time.Duration, stepSuffix string) transport.SendInterceptor {
 
 // SpoofFrom returns an interceptor for a sender-spoofing party: every
 // matching outbound message claims to originate from actor `claim`
-// instead of the real sender. Against the unauthenticated in-process
-// transport this misattributes the traffic; against the hardened TCP
-// transport the receiver re-attributes the frame to the handshake
-// identity and records a party.SpoofError against the real sender, so
-// the forgery convicts its author instead of the framed peer. Steps is
-// a suffix filter; empty spoofs all messages.
+// instead of the real sender. On both transports the receiver (or the
+// sending endpoint itself, in process) re-attributes the message to
+// the pinned connection identity and flags it, so the router records a
+// party.SpoofError against the real sender and the forgery convicts
+// its author instead of the framed peer. On an unkeyed TCP mesh the
+// pinned identity is only self-declared, so the conviction is advisory
+// there; a keyed mesh makes it sound. Steps is a suffix filter; empty
+// spoofs all messages.
 func SpoofFrom(claim int, stepSuffix string) transport.SendInterceptor {
 	return func(msg transport.Message) *transport.Message {
 		if stepSuffix == "" || strings.HasSuffix(msg.Step, stepSuffix) {

@@ -157,8 +157,8 @@ func TestServeShutdownSenderValidated(t *testing.T) {
 	go func() { done <- ServeParty(ctx, nn.OwnerSource{Ctx: ctx}) }()
 
 	// A peer computing party claiming shutdown authority is ignored: the
-	// hardened transport guarantees From, so this models an authenticated
-	// P2 overreaching, not a spoofed owner.
+	// transport stamps From with the sending endpoint's identity, so this
+	// models an authenticated P2 overreaching, not a spoofed owner.
 	p2, err := netw.Endpoint(transport.Party2)
 	if err != nil {
 		t.Fatal(err)

@@ -33,12 +33,15 @@ func (e *TimeoutError) Error() string {
 }
 
 // SpoofError reports a message whose wire sender field disagreed with
-// the authenticated transport connection it arrived on — the second
-// attribution fault the hardened transport can detect, alongside the
+// the pinned identity of the transport connection it arrived on — the
+// second attribution fault the transport can detect, alongside the
 // TimeoutError for delays and drops. The message itself is delivered
-// re-attributed to the authenticated peer (guaranteed output delivery
-// is preserved); the error records the spoofing attempt so the
-// offender — From, not Claimed — can be convicted.
+// re-attributed to the pinned peer (guaranteed output delivery is
+// preserved); the error records the spoofing attempt so the offender —
+// From, not Claimed — can be convicted. Conviction is sound when the
+// pinned identity is trustworthy: the in-process transport and a keyed
+// TCP mesh (ed25519 handshakes) qualify; an unkeyed TCP mesh does not,
+// since there the "identity" is itself self-declared.
 type SpoofError struct {
 	// From is the authenticated sender the message was re-attributed to.
 	From int

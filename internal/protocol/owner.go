@@ -135,9 +135,11 @@ func (s *OwnerService) Run() error {
 		}
 		if msg.Step == stepShutdown {
 			// Only the trusted owners (or the service's own actor) may
-			// stop the service; the hardened transport guarantees the
-			// attribution, so a Byzantine computing party cannot forge
-			// this command.
+			// stop the service. From carries the transport's pinned
+			// sender identity — proven cryptographically on a keyed TCP
+			// mesh, by construction in process — so a Byzantine
+			// computing party cannot forge this command there; an
+			// unkeyed TCP mesh only screens by source address.
 			if msg.From == transport.ModelOwner || msg.From == transport.DataOwner || msg.From == s.ep.Self() {
 				return nil
 			}

@@ -9,6 +9,12 @@ import (
 // ChanNetwork is the in-process transport: every actor owns a buffered
 // inbox channel and Send is a metered channel write. It is the
 // substrate for tests, examples and the Table II microbenchmarks.
+//
+// Sender attribution follows the same contract as the hardened TCP
+// path: messages are stamped with the sending endpoint's actor ID, and
+// a caller-forged From is re-attributed and marked Spoofed/ClaimedFrom
+// so protocol-layer sender checks behave identically on both
+// transports.
 type ChanNetwork struct {
 	meter meter
 
@@ -122,9 +128,15 @@ func (e *chanEndpoint) Send(msg Message) error {
 	if e.isClosed() || e.net.isClosed() {
 		return ErrClosed
 	}
-	if msg.From == 0 {
-		msg.From = e.self
+	if msg.From != 0 && msg.From != e.self {
+		// Same attribution contract as the TCP readLoop: the sending
+		// endpoint IS the identity, so a forged From is re-attributed
+		// to it and flagged for the router's SpoofError record. Without
+		// this, sender checks built on From would hold only on TCP.
+		msg.ClaimedFrom = msg.From
+		msg.Spoofed = true
 	}
+	msg.From = e.self
 	e.net.mu.Lock()
 	inbox, ok := e.net.inboxes[msg.To]
 	sendTimeout := e.net.sendTimeout

@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -88,6 +89,95 @@ func TestChanEndpointReattachAfterClose(t *testing.T) {
 	// Close released the slot: the actor can re-attach.
 	if _, err := n.Endpoint(Party1); err != nil {
 		t.Fatalf("re-attach after close: %v", err)
+	}
+}
+
+// TestChanSpoofedFromReattributed: the in-process transport follows the
+// same attribution contract as the keyed TCP path — a forged From is
+// re-attributed to the sending endpoint and flagged, so protocol-layer
+// sender checks (and SpoofError convictions) hold on chan-network runs
+// too.
+func TestChanSpoofedFromReattributed(t *testing.T) {
+	n := NewChanNetwork()
+	defer n.Close()
+	p1, err := n.Endpoint(Party1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := n.Endpoint(Party3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Party3 forges Party2's identity.
+	if err := p3.Send(Message{From: Party2, To: Party1, Step: "forged"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p1.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != Party3 || !got.Spoofed || got.ClaimedFrom != Party2 {
+		t.Fatalf("forged From not re-attributed: %+v", got)
+	}
+	// An honest send (From unset or self) stays unflagged.
+	if err := p3.Send(Message{To: Party1, Step: "honest"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = p1.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != Party3 || got.Spoofed || got.ClaimedFrom != 0 {
+		t.Fatalf("honest send flagged: %+v", got)
+	}
+}
+
+// TestLatencyCloseSendRace hammers Send concurrently with Close: every
+// Send that returned nil must be either delivered or counted as a
+// delivery error by the time Close returns — none silently lost.
+func TestLatencyCloseSendRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		base := NewChanNetwork()
+		n := WithLatency(base, time.Millisecond)
+		p1, err := n.Endpoint(Party1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := n.Endpoint(Party2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var accepted atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if p1.Send(Message{To: Party2, Step: "race"}) == nil {
+						accepted.Add(1)
+					}
+				}
+			}()
+		}
+		time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+		if err := p1.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		received := int64(0)
+		for {
+			if _, err := p2.Recv(50 * time.Millisecond); err != nil {
+				break
+			}
+			received++
+		}
+		failed := n.(DeliveryCounter).DeliveryErrors()
+		if received+failed != accepted.Load() {
+			t.Fatalf("round %d: accepted %d sends but %d delivered + %d failed",
+				round, accepted.Load(), received, failed)
+		}
+		_ = n.Close()
 	}
 }
 

@@ -65,20 +65,20 @@ func FuzzDecodeBundle(f *testing.F) {
 
 func FuzzReadFrame(f *testing.F) {
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, Message{From: 1, To: 2, Session: "s", Step: "x", Payload: []byte{1, 2}}); err != nil {
+	if _, err := writeFrame(&buf, Message{From: 1, To: 2, Session: "s", Step: "x", Payload: []byte{1, 2}}); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
 	f.Add([]byte{0, 0, 0, 0})
 	// Boundary labels: zero-length session and step.
 	buf.Reset()
-	if err := writeFrame(&buf, Message{From: 1, To: 2}); err != nil {
+	if _, err := writeFrame(&buf, Message{From: 1, To: 2}); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
 	// Maximal label length (0xffff) in the session field.
 	buf.Reset()
-	if err := writeFrame(&buf, Message{From: 1, To: 2, Session: string(make([]byte, 0xffff)), Step: "s"}); err != nil {
+	if _, err := writeFrame(&buf, Message{From: 1, To: 2, Session: string(make([]byte, 0xffff)), Step: "s"}); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
@@ -92,7 +92,7 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		// Accepted frames must re-serialize to an equivalent frame.
 		var out bytes.Buffer
-		if err := writeFrame(&out, msg); err != nil {
+		if _, err := writeFrame(&out, msg); err != nil {
 			t.Fatalf("accepted frame cannot be rewritten: %v", err)
 		}
 		back, err := readFrame(bytes.NewReader(out.Bytes()))
@@ -113,7 +113,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Fuzz(func(t *testing.T, session, step string, payload []byte) {
 		in := Message{From: 1, To: 2, Session: session, Step: step, Payload: payload}
 		var buf bytes.Buffer
-		err := writeFrame(&buf, in)
+		_, err := writeFrame(&buf, in)
 		if len(session) > 0xffff || len(step) > 0xffff {
 			if err == nil {
 				t.Fatal("oversized label accepted by writeFrame")

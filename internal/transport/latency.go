@@ -78,10 +78,17 @@ type latentEndpoint struct {
 	delay  time.Duration
 	queue  chan delayedMessage
 
-	logOnce   sync.Once
-	closeOnce sync.Once
-	done      chan struct{}
-	loopExit  chan struct{}
+	logOnce  sync.Once
+	done     chan struct{}
+	loopExit chan struct{}
+
+	// mu orders Send against Close: once Close has observed the closed
+	// flag set, no Send can enqueue anymore, so the final drain below
+	// loopExit sees every accepted message. Without this a Send that
+	// passed its done-check could enqueue after the drain and the
+	// message would be lost despite Send returning nil.
+	mu     sync.Mutex
+	closed bool
 }
 
 // deliverLoop forwards queued messages once their propagation delay
@@ -125,19 +132,31 @@ func (e *latentEndpoint) Send(msg Message) error {
 	if msg.From == 0 {
 		msg.From = e.Self()
 	}
-	select {
-	case e.queue <- delayedMessage{msg: msg, due: time.Now().Add(e.delay)}:
-		return nil
-	case <-e.done:
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
 		return ErrClosed
 	}
+	// While the endpoint is open the deliver loop keeps draining, so
+	// this enqueue completes; holding mu keeps Close from starting its
+	// final drain with the message still in flight.
+	e.queue <- delayedMessage{msg: msg, due: time.Now().Add(e.delay)}
+	return nil
 }
 
 // Close stops the forwarder, flushes messages still queued behind
 // their propagation delay (they are delivered immediately; failures
-// are counted), and then closes the underlying endpoint.
+// are counted), and then closes the underlying endpoint. Every Send
+// that returned nil has been either delivered or counted by the time
+// Close returns — none are silently lost.
 func (e *latentEndpoint) Close() error {
-	e.closeOnce.Do(func() { close(e.done) })
+	e.mu.Lock()
+	alreadyClosed := e.closed
+	e.closed = true
+	e.mu.Unlock()
+	if !alreadyClosed {
+		close(e.done)
+	}
 	<-e.loopExit
 	for {
 		select {

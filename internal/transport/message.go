@@ -53,11 +53,14 @@ type Message struct {
 	Step    string
 	Payload []byte
 
-	// Spoofed marks a message whose wire From field disagreed with the
-	// authenticated identity of the connection it arrived on. From has
-	// been re-attributed to the authenticated peer; ClaimedFrom keeps
+	// Spoofed marks a message whose declared From disagreed with the
+	// pinned identity of the endpoint or connection it came through.
+	// From has been re-attributed to the pinned peer; ClaimedFrom keeps
 	// the forged value so receivers can convict the real sender of the
-	// spoofing attempt. Neither field travels on the wire.
+	// spoofing attempt. The pinned identity is cryptographically proven
+	// on a keyed TCP mesh and structural in process; on an unkeyed TCP
+	// mesh it is only the (screened) handshake claim. Neither field
+	// travels on the wire.
 	Spoofed     bool
 	ClaimedFrom int
 }

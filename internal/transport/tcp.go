@@ -15,24 +15,38 @@ import (
 // established connections. One process may host any subset of the
 // actors (cmd/trustddl-party hosts exactly one).
 //
-// Every connection starts with a six-byte hello/ack handshake that
-// pins the dialing actor's identity on the accepting side. Inbound
-// frames are attributed to that pinned identity — the wire From byte is
-// never trusted; a mismatch re-attributes the message to the
-// authenticated peer and marks it Spoofed so the protocol layer can
-// convict the forger. Frames whose To field does not name the receiving
-// endpoint are dropped.
+// Every connection starts with a handshake that pins the dialing
+// actor's identity on the accepting side. Inbound frames are attributed
+// to that pinned identity — the wire From byte is never trusted; a
+// mismatch re-attributes the message to the pinned peer and marks it
+// Spoofed so the protocol layer can convict the forger. Frames whose To
+// field does not name the receiving endpoint are dropped.
+//
+// How strong the pin is depends on the network's key configuration:
+//
+//   - With a Keyring (SetKeyring; NewLoopbackTCPNetwork generates one),
+//     the handshake is a mutual ed25519 challenge–response — the pinned
+//     identity is authenticated, so the attribution (and any SpoofError
+//     conviction built on it) holds even against a Byzantine peer that
+//     owns a legitimate mesh position.
+//   - Without keys, the handshake only *identifies*: the dialer's
+//     self-declared ID is pinned after a best-effort source-IP check
+//     against the address map. That stops accidents and third hosts
+//     with distinct IPs, not a deliberate forger — an unkeyed mesh must
+//     not be relied on for Byzantine sender attribution.
 //
 // Sends carry a per-attempt write deadline and redial broken
 // connections with bounded exponential backoff, so a stalled or
 // restarted peer cannot wedge a protocol round indefinitely: Send
 // either completes or fails within the configured budget, and a party
 // that is killed and restarted on the same address is picked up again
-// by the next redial.
+// by the next redial. Delivery is at-most-once: an attempt is retried
+// only while the frame provably never reached the peer as a parseable
+// message (see Send), so a receiver never observes duplicates.
 //
 // The traffic meter counts what the local process's endpoints put on
 // and take off the wire, per direction, recording a message only after
-// its I/O succeeded. The constant 12-byte connection handshake is
+// its I/O succeeded. The constant per-connection handshake bytes are
 // excluded so channel and TCP runs report identical per-message volume.
 type TCPNetwork struct {
 	meter meter
@@ -42,6 +56,7 @@ type TCPNetwork struct {
 	listeners    map[int]net.Listener
 	closed       bool
 	endpoints    []*tcpEndpoint
+	keyring      *Keyring
 	dialTimeout  time.Duration
 	sendTimeout  time.Duration
 	sendAttempts int
@@ -65,8 +80,12 @@ const (
 	defaultRetryBackoff = 50 * time.Millisecond
 )
 
-// handshakeMagic opens the six-byte connection hello ("TDL1" + from +
-// to) and the acceptor's ack ("TDL1" + self + 0).
+// handshakeMagic opens the legacy identification-only hello ("TDL1" +
+// from + to) and the acceptor's ack ("TDL1" + self + 0), used when the
+// network has no keyring. Keyed meshes use the authenticated "TDL2"
+// exchange (see auth.go); the two modes reject each other's magic, so
+// a misconfigured or downgrading peer fails the handshake instead of
+// silently losing authentication.
 var handshakeMagic = [4]byte{'T', 'D', 'L', '1'}
 
 // NewTCPNetwork creates a TCP transport over the given actor→address
@@ -82,9 +101,15 @@ func NewTCPNetwork(addrs map[int]string) *TCPNetwork {
 
 // NewLoopbackTCPNetwork binds all five actors to ephemeral loopback
 // ports in this process — the single-machine distributed configuration
-// used by tests and benchmarks.
+// used by tests and benchmarks. A fresh keyring is generated so the
+// mesh runs with authenticated handshakes; since all actors live in
+// one process, no key ever needs distributing.
 func NewLoopbackTCPNetwork() (*TCPNetwork, error) {
-	n := &TCPNetwork{addrs: make(map[int]string, NumActors), listeners: make(map[int]net.Listener)}
+	kr, err := GenerateKeyring()
+	if err != nil {
+		return nil, err
+	}
+	n := &TCPNetwork{addrs: make(map[int]string, NumActors), listeners: make(map[int]net.Listener), keyring: kr}
 	for id := 1; id <= NumActors; id++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -95,6 +120,23 @@ func NewLoopbackTCPNetwork() (*TCPNetwork, error) {
 		n.addrs[id] = l.Addr().String()
 	}
 	return n, nil
+}
+
+// SetKeyring switches the mesh to authenticated handshakes: every
+// connection must prove its actor identity with the corresponding
+// ed25519 key. Call before creating endpoints; all processes of one
+// mesh must agree on the public keys (an unkeyed peer cannot talk to a
+// keyed one — the handshake fails closed).
+func (n *TCPNetwork) SetKeyring(k *Keyring) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.keyring = k
+}
+
+func (n *TCPNetwork) keys() *Keyring {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.keyring
 }
 
 // SetDialTimeout bounds each connection attempt, handshake included
@@ -154,6 +196,9 @@ func (n *TCPNetwork) Endpoint(actor int) (Endpoint, error) {
 	addr, ok := n.addrs[actor]
 	if !ok {
 		return nil, fmt.Errorf("transport: no address configured for actor %d", actor)
+	}
+	if n.keyring != nil && !n.keyring.hasPrivate(actor) {
+		return nil, fmt.Errorf("transport: keyring holds no private key for %s — cannot authenticate as this actor", ActorName(actor))
 	}
 	l, ok := n.listeners[actor]
 	if !ok {
@@ -286,16 +331,27 @@ func (e *tcpEndpoint) untrackInbound(c net.Conn) {
 	delete(e.inbound, c)
 }
 
-// readLoop authenticates the connection via the handshake hello, then
-// attributes every inbound frame to the pinned peer identity.
+// readLoop pins the connection's peer identity via the handshake, then
+// attributes every inbound frame to it.
 func (e *tcpEndpoint) readLoop(c net.Conn) {
 	defer e.loops.Done()
 	defer e.untrackInbound(c)
 	defer c.Close()
 	dial, _, _, _ := e.net.policy()
-	peer, err := acceptHandshake(c, e.self, dial)
+	k := e.net.keys()
+	peer, err := acceptHandshake(c, e.self, k, dial)
 	if err != nil {
-		return // unauthenticated connection: refuse all traffic
+		return // handshake failed: refuse all traffic
+	}
+	if k == nil {
+		// Unkeyed mesh: the claimed identity is unproven. Screen the
+		// source address against the mesh configuration (best effort —
+		// see remoteAllowed) so at least a third host with a distinct
+		// IP cannot borrow a mesh position.
+		addr, ok := e.net.addrOf(peer)
+		if !ok || !remoteAllowed(addr, c.RemoteAddr()) {
+			return
+		}
 	}
 	for {
 		msg, err := readFrame(c)
@@ -306,72 +362,104 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 			continue // misrouted frame: not for this endpoint
 		}
 		if msg.From != peer {
-			// Wire attribution disagrees with the authenticated
-			// connection: re-attribute and flag, never trust the frame.
+			// Wire attribution disagrees with the pinned connection
+			// identity: re-attribute and flag, never trust the frame.
 			msg.ClaimedFrom = msg.From
 			msg.From = peer
 			msg.Spoofed = true
 		}
-		e.net.meter.recordRecv(msg)
 		select {
 		case e.inbox <- msg:
+			// Count only what was actually handed to the application; a
+			// message dropped by a concurrent Close must not inflate
+			// the receive meter.
+			e.net.meter.recordRecv(msg)
 		case <-e.done:
 			return
 		}
 	}
 }
 
-// acceptHandshake reads the dialer's hello, validates it against the
-// accepting actor and acknowledges, returning the pinned peer ID.
-func acceptHandshake(c net.Conn, self int, timeout time.Duration) (int, error) {
-	_ = c.SetDeadline(time.Now().Add(timeout))
-	defer c.SetDeadline(time.Time{})
-	var hello [6]byte
-	if _, err := io.ReadFull(c, hello[:]); err != nil {
-		return 0, err
-	}
-	if [4]byte(hello[:4]) != handshakeMagic {
-		return 0, errors.New("transport: bad handshake magic")
-	}
-	peer, to := int(hello[4]), int(hello[5])
-	if peer < 1 || peer > NumActors {
-		return 0, fmt.Errorf("transport: handshake from unknown actor %d", peer)
-	}
-	if to != self {
-		return 0, fmt.Errorf("transport: handshake addressed to actor %d, this endpoint is %s", to, ActorName(self))
-	}
-	ack := [6]byte{handshakeMagic[0], handshakeMagic[1], handshakeMagic[2], handshakeMagic[3], byte(self), 0}
-	if _, err := c.Write(ack[:]); err != nil {
+// acceptHandshake reads the dialer's hello and pins the peer identity:
+// with a keyring, via the mutual ed25519 challenge–response (the peer
+// is authenticated); without, via the self-declared hello (the peer is
+// merely identified — see the TCPNetwork doc comment for what that
+// does and does not defend against).
+func acceptHandshake(c net.Conn, self int, k *Keyring, timeout time.Duration) (peer int, err error) {
+	err = handshakeTimeout(c, timeout, func() error {
+		var head [6]byte
+		if _, err := io.ReadFull(c, head[:]); err != nil {
+			return err
+		}
+		magic := [4]byte(head[:4])
+		from, to := int(head[4]), int(head[5])
+		if from < 1 || from > NumActors {
+			return fmt.Errorf("transport: handshake from unknown actor %d", from)
+		}
+		if to != self {
+			return fmt.Errorf("transport: handshake addressed to actor %d, this endpoint is %s", to, ActorName(self))
+		}
+		if k != nil {
+			if magic != authMagic {
+				return errors.New("transport: unauthenticated hello on a keyed mesh")
+			}
+			peer, err = acceptAuthHandshake(c, self, from, k)
+			return err
+		}
+		if magic != handshakeMagic {
+			return errors.New("transport: bad handshake magic")
+		}
+		ack := [6]byte{handshakeMagic[0], handshakeMagic[1], handshakeMagic[2], handshakeMagic[3], byte(self), 0}
+		if _, err := c.Write(ack[:]); err != nil {
+			return err
+		}
+		peer = from
+		return nil
+	})
+	if err != nil {
 		return 0, err
 	}
 	return peer, nil
 }
 
 // dialHandshake announces the dialer's identity and verifies the
-// acceptor is the intended actor.
-func dialHandshake(c net.Conn, self, peer int, timeout time.Duration) error {
-	_ = c.SetDeadline(time.Now().Add(timeout))
-	defer c.SetDeadline(time.Time{})
-	hello := [6]byte{handshakeMagic[0], handshakeMagic[1], handshakeMagic[2], handshakeMagic[3], byte(self), byte(peer)}
-	if _, err := c.Write(hello[:]); err != nil {
-		return err
-	}
-	var ack [6]byte
-	if _, err := io.ReadFull(c, ack[:]); err != nil {
-		return err
-	}
-	if [4]byte(ack[:4]) != handshakeMagic {
-		return errors.New("transport: bad handshake ack")
-	}
-	if got := int(ack[4]); got != peer {
-		return fmt.Errorf("transport: dialed %s but reached %s", ActorName(peer), ActorName(got))
-	}
-	return nil
+// acceptor is the intended actor, proving both identities when the
+// mesh is keyed.
+func dialHandshake(c net.Conn, self, peer int, k *Keyring, timeout time.Duration) error {
+	return handshakeTimeout(c, timeout, func() error {
+		if k != nil {
+			return dialAuthHandshake(c, self, peer, k)
+		}
+		hello := [6]byte{handshakeMagic[0], handshakeMagic[1], handshakeMagic[2], handshakeMagic[3], byte(self), byte(peer)}
+		if _, err := c.Write(hello[:]); err != nil {
+			return err
+		}
+		var ack [6]byte
+		if _, err := io.ReadFull(c, ack[:]); err != nil {
+			return err
+		}
+		if [4]byte(ack[:4]) != handshakeMagic {
+			return errors.New("transport: bad handshake ack")
+		}
+		if got := int(ack[4]); got != peer {
+			return fmt.Errorf("transport: dialed %s but reached %s", ActorName(peer), ActorName(got))
+		}
+		return nil
+	})
 }
 
 // Send writes one frame with a per-attempt deadline, redialing broken
 // connections with bounded exponential backoff. It fails within the
 // configured attempt budget instead of wedging on a stalled peer.
+//
+// Delivery is at-most-once. A failed attempt is resent only when the
+// frame cannot have been delivered: dial/handshake failures precede
+// any frame bytes, and a partial frame write is unparseable by the
+// receiver (frames are length-prefixed, and the truncated connection
+// is dropped, so readFrame discards the fragment). If the write error
+// arrives only after the entire frame reached the kernel — which may
+// still deliver it — Send reports the error without retrying, so the
+// receiver can never observe the same message twice.
 func (e *tcpEndpoint) Send(msg Message) error {
 	if e.isClosed() {
 		return ErrClosed
@@ -401,26 +489,36 @@ func (e *tcpEndpoint) Send(msg Message) error {
 			lastErr = err
 			continue
 		}
-		if err := e.writeOnce(conn, msg, sendLimit); err != nil {
-			e.dropConn(msg.To, conn)
-			lastErr = err
-			continue
+		n, err := e.writeOnce(conn, msg, sendLimit)
+		if err == nil {
+			// Outbound accounting only after the frame actually left.
+			e.net.meter.recordSend(msg)
+			return nil
 		}
-		// Outbound accounting only after the frame actually left.
-		e.net.meter.recordSend(msg)
-		return nil
+		e.dropConn(msg.To, conn)
+		if n >= msg.wireSize() {
+			// The whole frame reached the kernel before the error
+			// surfaced; it may still be delivered, so a blind resend
+			// could duplicate it at the receiver.
+			return fmt.Errorf("transport: send %s→%s: %w (frame fully written, not resent to avoid duplicate delivery)",
+				ActorName(e.self), ActorName(msg.To), err)
+		}
+		lastErr = err
 	}
 	return fmt.Errorf("transport: send %s→%s after %d attempts: %w",
 		ActorName(e.self), ActorName(msg.To), attempts, lastErr)
 }
 
-func (e *tcpEndpoint) writeOnce(conn *tcpConn, msg Message, limit time.Duration) error {
+// writeOnce writes one frame under the connection's write lock,
+// returning how many frame bytes were handed to the kernel — Send's
+// retry decision depends on it.
+func (e *tcpEndpoint) writeOnce(conn *tcpConn, msg Message, limit time.Duration) (int, error) {
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
 	_ = conn.c.SetWriteDeadline(time.Now().Add(limit))
-	err := writeFrame(conn.c, msg)
+	n, err := writeFrame(conn.c, msg)
 	_ = conn.c.SetWriteDeadline(time.Time{})
-	return err
+	return n, err
 }
 
 // dropConn discards a broken connection so the next attempt redials.
@@ -453,7 +551,7 @@ func (e *tcpEndpoint) connTo(actor int) (*tcpConn, error) {
 	if tc, ok := raw.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true) // protocol rounds are latency-bound
 	}
-	if err := dialHandshake(raw, e.self, actor, dialTimeout); err != nil {
+	if err := dialHandshake(raw, e.self, actor, e.net.keys(), dialTimeout); err != nil {
 		_ = raw.Close()
 		return nil, fmt.Errorf("transport: handshake with %s at %s: %w", ActorName(actor), addr, err)
 	}
@@ -536,16 +634,19 @@ func (e *tcpEndpoint) isClosed() bool {
 }
 
 // Frame layout: u32 body length | u8 from | u8 to | u16 sessLen | sess |
-// u16 stepLen | step | payload. The From byte is informational on the
-// authenticated TCP path — receivers attribute frames to the handshake
-// identity and only use the wire byte to detect spoofing.
-func writeFrame(w io.Writer, msg Message) error {
+// u16 stepLen | step | payload. The From byte is informational —
+// receivers attribute frames to the handshake-pinned identity and only
+// use the wire byte to detect spoofing.
+//
+// writeFrame returns how many bytes were written even on error; Send
+// uses the count to decide whether a retry could duplicate delivery.
+func writeFrame(w io.Writer, msg Message) (int, error) {
 	if len(msg.Session) > 0xffff || len(msg.Step) > 0xffff {
-		return fmt.Errorf("transport: session/step label too long")
+		return 0, fmt.Errorf("transport: session/step label too long")
 	}
 	body := 2 + 2 + len(msg.Session) + 2 + len(msg.Step) + len(msg.Payload)
 	if body > maxFrame {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit", body)
+		return 0, fmt.Errorf("transport: frame of %d bytes exceeds limit", body)
 	}
 	buf := make([]byte, 0, 4+body)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(body))
@@ -555,8 +656,7 @@ func writeFrame(w io.Writer, msg Message) error {
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(msg.Step)))
 	buf = append(buf, msg.Step...)
 	buf = append(buf, msg.Payload...)
-	_, err := w.Write(buf)
-	return err
+	return w.Write(buf)
 }
 
 func readFrame(r io.Reader) (Message, error) {

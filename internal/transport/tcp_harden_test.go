@@ -21,7 +21,7 @@ func dialAs(t *testing.T, n *TCPNetwork, as, to int) net.Conn {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := dialHandshake(c, as, to, 2*time.Second); err != nil {
+	if err := dialHandshake(c, as, to, n.keys(), 2*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	return c
@@ -42,7 +42,7 @@ func TestTCPSpoofedFromIsReattributed(t *testing.T) {
 	c := dialAs(t, n, Party1, Party2)
 	defer c.Close()
 	spoofed := Message{From: Party3, To: Party2, Session: "s", Step: "open", Payload: []byte("evil")}
-	if err := writeFrame(c, spoofed); err != nil {
+	if _, err := writeFrame(c, spoofed); err != nil {
 		t.Fatal(err)
 	}
 	got, err := p2.Recv(5 * time.Second)
@@ -56,7 +56,7 @@ func TestTCPSpoofedFromIsReattributed(t *testing.T) {
 		t.Fatalf("spoof not flagged: Spoofed=%v ClaimedFrom=%d", got.Spoofed, got.ClaimedFrom)
 	}
 	// An honest frame over the same connection is clean.
-	if err := writeFrame(c, Message{From: Party1, To: Party2, Session: "s", Step: "commit"}); err != nil {
+	if _, err := writeFrame(c, Message{From: Party1, To: Party2, Session: "s", Step: "commit"}); err != nil {
 		t.Fatal(err)
 	}
 	got, err = p2.Recv(5 * time.Second)
@@ -81,10 +81,10 @@ func TestTCPMisroutedFrameDropped(t *testing.T) {
 	c := dialAs(t, n, Party1, Party2)
 	defer c.Close()
 	// A frame addressed to a different actor must not surface on P2.
-	if err := writeFrame(c, Message{From: Party1, To: Party3, Session: "s", Step: "x"}); err != nil {
+	if _, err := writeFrame(c, Message{From: Party1, To: Party3, Session: "s", Step: "x"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeFrame(c, Message{From: Party1, To: Party2, Session: "s", Step: "y"}); err != nil {
+	if _, err := writeFrame(c, Message{From: Party1, To: Party2, Session: "s", Step: "y"}); err != nil {
 		t.Fatal(err)
 	}
 	got, err := p2.Recv(5 * time.Second)
@@ -113,7 +113,7 @@ func TestTCPHandshakeRejectsWrongAddressee(t *testing.T) {
 	defer c.Close()
 	// Hello addressed to Party3 arriving at Party2's listener: the
 	// acceptor must refuse (no ack, connection closed).
-	if err := dialHandshake(c, Party1, Party3, 2*time.Second); err == nil {
+	if err := dialHandshake(c, Party1, Party3, n.keys(), 2*time.Second); err == nil {
 		t.Fatal("handshake with wrong addressee accepted")
 	}
 }
@@ -136,7 +136,7 @@ func TestTCPUnauthenticatedTrafficRefused(t *testing.T) {
 	defer c.Close()
 	// Raw frames without a handshake never reach the inbox; the
 	// acceptor closes the connection.
-	if err := writeFrame(c, Message{From: Party1, To: Party2, Session: "s", Step: "x"}); err != nil {
+	if _, err := writeFrame(c, Message{From: Party1, To: Party2, Session: "s", Step: "x"}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := p2.Recv(200 * time.Millisecond); !errors.Is(err, ErrTimeout) {
@@ -236,7 +236,7 @@ func TestTCPSendDeadlineOnStalledReader(t *testing.T) {
 				return
 			}
 			go func(c net.Conn) {
-				if _, err := acceptHandshake(c, Party2, 2*time.Second); err != nil {
+				if _, err := acceptHandshake(c, Party2, nil, 2*time.Second); err != nil {
 					_ = c.Close()
 				}
 				// Never read again; keep the connection open.
@@ -426,7 +426,7 @@ func TestAcceptHandshakeRejectsGarbage(t *testing.T) {
 	go func() {
 		_, _ = client.Write([]byte("GET / HTTP/1.1\r\n"))
 	}()
-	if _, err := acceptHandshake(server, Party1, time.Second); err == nil {
+	if _, err := acceptHandshake(server, Party1, nil, time.Second); err == nil {
 		t.Fatal("garbage hello accepted")
 	}
 }
@@ -437,7 +437,7 @@ func TestDialHandshakeRejectsWrongPeer(t *testing.T) {
 	defer server.Close()
 	errc := make(chan error, 1)
 	go func() {
-		errc <- dialHandshake(client, Party1, Party2, time.Second)
+		errc <- dialHandshake(client, Party1, Party2, nil, time.Second)
 	}()
 	// The far end identifies as Party3, not the dialed Party2.
 	var hello [6]byte

@@ -28,8 +28,38 @@ func NewChanNetwork() Network { return transport.NewChanNetwork() }
 
 // NewTCPNetwork creates the distributed transport over an
 // actor→address map; each process binds the actors it hosts and dials
-// the rest on demand.
+// the rest on demand. Without a keyring the mesh runs identification-only
+// handshakes — use NewTCPNetworkWithKeyring for authenticated
+// deployments (see DESIGN.md §8).
 func NewTCPNetwork(addrs map[int]string) Network { return transport.NewTCPNetwork(addrs) }
+
+// Keyring holds the mesh's ed25519 identities: all five actors' public
+// keys plus the private keys of the actors this process runs.
+type Keyring = transport.Keyring
+
+// KeyringFromHex builds a keyring from hex-encoded public keys for all
+// five actors (the format printed by `trustddl-party -genkey`). Add
+// this process's own seeds with Keyring.AddPrivateSeedHex.
+func KeyringFromHex(pubs map[int]string) (*Keyring, error) {
+	return transport.KeyringFromHex(pubs)
+}
+
+// GenerateSeedHex mints a fresh ed25519 identity, returning the private
+// seed (keep secret) and the public key (publish to the mesh), both hex.
+func GenerateSeedHex() (seedHex, pubHex string, err error) {
+	return transport.GenerateSeedHex()
+}
+
+// NewTCPNetworkWithKeyring creates the distributed transport with
+// mutually authenticated ed25519 handshakes: sender attribution (and
+// Byzantine spoof conviction) then holds even against malicious
+// insiders. The owners' driver typically holds the ModelOwner and
+// DataOwner seeds in one process.
+func NewTCPNetworkWithKeyring(addrs map[int]string, k *Keyring) Network {
+	n := transport.NewTCPNetwork(addrs)
+	n.SetKeyring(k)
+	return n
+}
 
 // NewLoopbackTCPNetwork binds all five actors to ephemeral loopback
 // ports in this process — the single-machine distributed configuration.

@@ -1,6 +1,7 @@
 package trustddl_test
 
 import (
+	"net"
 	"testing"
 
 	trustddl "github.com/trustddl/trustddl"
@@ -129,5 +130,58 @@ func TestPublicTCPCluster(t *testing.T) {
 	img := trustddl.SyntheticDataset(8, 1).Images[0]
 	if _, err := run.Infer(img); err != nil {
 		t.Fatalf("inference over TCP loopback: %v", err)
+	}
+}
+
+// TestPublicKeyedTCPCluster provisions a keyed mesh entirely through
+// the public API — the same steps a real multi-machine deployment
+// follows (-genkey per actor, public keys shared, own seeds kept) —
+// and runs an inference over the authenticated connections.
+func TestPublicKeyedTCPCluster(t *testing.T) {
+	addrs := make(map[int]string, 5)
+	pubs := make(map[int]string, 5)
+	seeds := make(map[int]string, 5)
+	for id := 1; id <= 5; id++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[id] = l.Addr().String()
+		_ = l.Close()
+		seed, pub, err := trustddl.GenerateSeedHex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds[id], pubs[id] = seed, pub
+	}
+	kr, err := trustddl.KeyringFromHex(pubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This test process hosts every actor, so it holds every seed; a
+	// real deployment adds only its own.
+	for id, seed := range seeds {
+		if err := kr.AddPrivateSeedHex(id, seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	netw := trustddl.NewTCPNetworkWithKeyring(addrs, kr)
+	defer netw.Close()
+	cluster, err := trustddl.New(trustddl.Config{Mode: trustddl.Malicious, Seed: 7, Net: netw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	weights, err := trustddl.InitPaperWeights(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := cluster.NewRun(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := trustddl.SyntheticDataset(8, 1).Images[0]
+	if _, err := run.Infer(img); err != nil {
+		t.Fatalf("inference over keyed TCP mesh: %v", err)
 	}
 }
