@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	trustddl-bench [-iters N] [-seed S] [-frameworks a,b,...] [-parallelism P]
+//	trustddl-bench [-iters N] [-seed S] [-frameworks a,b,...] [-parallelism P] [-prefetch-depth N]
 package main
 
 import (
@@ -30,11 +30,12 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "deterministic seed for weights, data and shares")
 	frameworks := fs.String("frameworks", "", "comma-separated framework filter (SecureNN, Falcon, SafeML, TrustDDL); empty runs all")
 	parallelism := fs.Int("parallelism", 0, "tensor-kernel worker goroutines (0 = NumCPU, 1 = serial)")
+	prefetchDepth := fs.Int("prefetch-depth", 0, "triple prefetch pipeline depth for the TrustDDL rows (0 = on-demand dealing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := trustddl.Table2Config{Iterations: *iters, Seed: *seed, Parallelism: *parallelism}
+	cfg := trustddl.Table2Config{Iterations: *iters, Seed: *seed, Parallelism: *parallelism, PrefetchDepth: *prefetchDepth}
 	if *frameworks != "" {
 		cfg.Frameworks = strings.Split(*frameworks, ",")
 	}

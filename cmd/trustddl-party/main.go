@@ -11,7 +11,7 @@
 //	  -addrs "1=10.0.0.1:7001,2=10.0.0.2:7001,3=10.0.0.3:7001,4=10.0.0.4:7001,5=10.0.0.5:7001" \
 //	  -key <seed-hex> -peer-keys "1=<pub>,2=<pub>,3=<pub>,4=<pub>,5=<pub>" \
 //	  [-hbc] [-timeout 5s] [-send-timeout 2s] [-dial-timeout 2s] \
-//	  [-send-retries 3] [-retry-backoff 50ms]
+//	  [-send-retries 3] [-retry-backoff 50ms] [-prefetch-depth N]
 //
 // The actor IDs are: 1..3 computing parties, 4 model owner, 5 data
 // owner. SIGINT/SIGTERM shut the party down gracefully (in-flight
@@ -63,6 +63,7 @@ func run(args []string) error {
 	dialTimeout := fs.Duration("dial-timeout", 0, "per-attempt dial+handshake deadline (0 = transport default)")
 	sendRetries := fs.Int("send-retries", 0, "send attempts incl. redials per message (0 = transport default)")
 	retryBackoff := fs.Duration("retry-backoff", 0, "initial redial backoff, doubled per retry (0 = transport default)")
+	prefetchDepth := fs.Int("prefetch-depth", 0, "triple prefetch pipeline depth (0 = off, n = batched segments of n requests)")
 	genKey := fs.Bool("genkey", false, "generate a fresh ed25519 identity (seed + public key) and exit")
 	keySeed := fs.String("key", "", "this party's ed25519 seed in hex (from -genkey); enables authenticated handshakes")
 	peerKeys := fs.String("peer-keys", "", "all five actors' ed25519 public keys as 'id=hex' pairs, comma separated (required with -key)")
@@ -134,7 +135,7 @@ func run(args []string) error {
 	}
 	fmt.Printf("trustddl-party: P%d serving at %s (%s mode, F=%d)\n",
 		*partyID, addrMap[*partyID], mode, *fracBits)
-	err = core.ServeParty(ctx, nn.OwnerSource{Ctx: ctx})
+	err = core.ServePartyOpts(ctx, nn.OwnerSource{Ctx: ctx}, core.ServeOptions{PrefetchDepth: *prefetchDepth})
 	// Unblock the signal goroutine on normal exit.
 	signal.Stop(sigs)
 	close(sigs)

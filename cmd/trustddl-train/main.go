@@ -13,7 +13,7 @@
 //
 //	trustddl-train [-epochs 5] [-train 300] [-test 100] [-batch 10]
 //	               [-lr 0.1] [-seed 1] [-data DIR] [-print-config]
-//	               [-parallelism P]
+//	               [-parallelism P] [-prefetch-depth N]
 package main
 
 import (
@@ -44,6 +44,7 @@ func run(args []string) error {
 	sweep := fs.Bool("sweep-precision", false, "sweep fixed-point precisions instead of running Fig. 2")
 	savePath := fs.String("save", "", "after training, save the secure-trained model to this file")
 	parallelism := fs.Int("parallelism", 0, "tensor-kernel worker goroutines (0 = NumCPU, 1 = serial)")
+	prefetchDepth := fs.Int("prefetch-depth", 0, "triple prefetch pipeline depth for online dealing (0 = on-demand)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +52,9 @@ func run(args []string) error {
 		// Applies process-wide, so -sweep-precision and -save paths pick
 		// it up too.
 		trustddl.SetParallelism(*parallelism)
+	}
+	if *prefetchDepth > 0 {
+		trustddl.SetPrefetchDepth(*prefetchDepth)
 	}
 
 	if *printConfig {

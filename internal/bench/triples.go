@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/core"
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// The offline-phase triple pipeline experiment: how much online
+// latency the prefetched, batch-dealt correlated randomness removes.
+// On-demand dealing (depth 0) pays ~one owner round-trip per secure
+// layer, strictly serialized with the commit/open rounds; with depth
+// n ≥ 1 the plan is fetched in batched segments whose round-trips
+// overlap the layer compute, so owner-bound traffic per step drops to
+// ~one message per segment and the injected link latency mostly
+// leaves the critical path.
+
+// TriplesConfig parameterizes the pipeline measurement.
+type TriplesConfig struct {
+	// Latency is the injected one-way message latency (default 2ms,
+	// a fast-LAN Table II setting; raise toward WAN values to widen
+	// the observed gap).
+	Latency time.Duration
+	// Depths lists the prefetch depths to measure. Depth 0 is today's
+	// on-demand dealing. Default: 0, 4, 32.
+	Depths []int
+	// Iterations averages each measurement over this many steps
+	// (default 2).
+	Iterations int
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Mode selects the adversary model (default HonestButCurious, the
+	// Table II latency-sensitive row).
+	Mode core.Mode
+}
+
+// TriplesRow is one measured prefetch depth.
+type TriplesRow struct {
+	Depth int `json:"depth"`
+	// InferMS / TrainMS are wall-clock milliseconds per single-image
+	// step under the injected latency.
+	InferMS float64 `json:"infer_ms"`
+	TrainMS float64 `json:"train_ms"`
+	// InferOwnerMsgs / TrainOwnerMsgs are messages received by the
+	// model owner per step, across all three parties — the round-trip
+	// count the pipeline collapses.
+	InferOwnerMsgs float64 `json:"infer_owner_msgs"`
+	TrainOwnerMsgs float64 `json:"train_owner_msgs"`
+	// InferMB / TrainMB are total sent megabytes per step.
+	InferMB float64 `json:"infer_mb"`
+	TrainMB float64 `json:"train_mb"`
+}
+
+// Triples measures single-image inference and training steps of the
+// Table I network over a latency-injected transport, once per
+// configured prefetch depth.
+func Triples(cfg TriplesConfig) ([]TriplesRow, error) {
+	if cfg.Latency == 0 {
+		cfg.Latency = 2 * time.Millisecond
+	}
+	if len(cfg.Depths) == 0 {
+		cfg.Depths = []int{0, 4, 32}
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = core.HonestButCurious
+	}
+	weights, err := nn.InitPaperWeights(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	images := mnist.Synthetic(cfg.Seed, cfg.Iterations).Images
+
+	rows := make([]TriplesRow, 0, len(cfg.Depths))
+	for _, depth := range cfg.Depths {
+		row, err := measureDepth(cfg, weights, images, depth)
+		if err != nil {
+			return nil, fmt.Errorf("bench: depth %d: %w", depth, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func measureDepth(cfg TriplesConfig, weights nn.PaperWeights, images []mnist.Image, depth int) (TriplesRow, error) {
+	prefetch := depth
+	if prefetch == 0 {
+		prefetch = -1 // pin on-demand dealing regardless of the process default
+	}
+	cluster, err := core.New(core.Config{
+		Mode:          cfg.Mode,
+		Triples:       core.OnlineDealing,
+		Net:           transport.WithLatency(transport.NewChanNetwork(), cfg.Latency),
+		Seed:          cfg.Seed,
+		PrefetchDepth: prefetch,
+	})
+	if err != nil {
+		return TriplesRow{}, err
+	}
+	defer cluster.Close()
+	run, err := cluster.NewRun(weights)
+	if err != nil {
+		return TriplesRow{}, err
+	}
+	// Warm-up outside the measurement.
+	if _, err := run.Infer(images[0]); err != nil {
+		return TriplesRow{}, err
+	}
+
+	row := TriplesRow{Depth: depth}
+	iters := float64(cfg.Iterations)
+
+	cluster.ResetStats()
+	start := time.Now()
+	for i := 0; i < cfg.Iterations; i++ {
+		if _, err := run.Infer(images[i%len(images)]); err != nil {
+			return TriplesRow{}, err
+		}
+	}
+	row.InferMS = time.Since(start).Seconds() * 1000 / iters
+	st := cluster.Stats()
+	row.InferOwnerMsgs = float64(st.PerActor[transport.ModelOwner].RecvMessages) / iters
+	row.InferMB = st.MegaBytes() / iters
+
+	cluster.ResetStats()
+	start = time.Now()
+	for i := 0; i < cfg.Iterations; i++ {
+		if err := run.TrainBatch(images[i%len(images):i%len(images)+1], 0.05); err != nil {
+			return TriplesRow{}, err
+		}
+	}
+	row.TrainMS = time.Since(start).Seconds() * 1000 / iters
+	st = cluster.Stats()
+	row.TrainOwnerMsgs = float64(st.PerActor[transport.ModelOwner].RecvMessages) / iters
+	row.TrainMB = st.MegaBytes() / iters
+	return row, nil
+}
+
+// triplesReport is the BENCH_triples.json schema.
+type triplesReport struct {
+	Benchmark string       `json:"benchmark"`
+	LatencyMS float64      `json:"latency_ms"`
+	Rows      []TriplesRow `json:"rows"`
+}
+
+// WriteTriplesJSON persists the measurement for trend tracking across
+// PRs (the BENCH_triples.json artifact).
+func WriteTriplesJSON(path string, cfg TriplesConfig, rows []TriplesRow) error {
+	latency := cfg.Latency
+	if latency == 0 {
+		latency = 2 * time.Millisecond
+	}
+	report := triplesReport{
+		Benchmark: "offline-phase triple pipeline (Table I network, single-image steps)",
+		LatencyMS: float64(latency) / float64(time.Millisecond),
+		Rows:      rows,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// FormatTriples renders the measurement as a table.
+func FormatTriples(cfg TriplesConfig, rows []TriplesRow) string {
+	out := fmt.Sprintf("%-8s %12s %12s %16s %16s\n", "Depth", "Infer (ms)", "Train (ms)", "Owner msgs/inf", "Owner msgs/train")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-8d %12.1f %12.1f %16.1f %16.1f\n", r.Depth, r.InferMS, r.TrainMS, r.InferOwnerMsgs, r.TrainOwnerMsgs)
+	}
+	return out
+}

@@ -46,6 +46,21 @@ const (
 // restarted driver finds the party alive and the transport redial
 // reconnects it.
 func ServeParty(ctx *protocol.Ctx, ts nn.TripleSource) error {
+	return ServePartyOpts(ctx, ts, ServeOptions{})
+}
+
+// ServeOptions tunes a served computing party.
+type ServeOptions struct {
+	// PrefetchDepth pipelines online triple dealing exactly like
+	// Config.PrefetchDepth: > 0 sets the segment size, 0 selects the
+	// process default, negative forces the on-demand path. It only
+	// takes effect when ts is the owner-backed source (a served party
+	// with a local precomputed pool has no round-trips to hide).
+	PrefetchDepth int
+}
+
+// ServePartyOpts is ServeParty with explicit options.
+func ServePartyOpts(ctx *protocol.Ctx, ts nn.TripleSource, opts ServeOptions) error {
 	var (
 		net  *nn.SecureNetwork
 		arch nn.Arch
@@ -87,7 +102,7 @@ func ServeParty(ctx *protocol.Ctx, ts nn.TripleSource) error {
 			if net == nil {
 				return fmt.Errorf("core: serve party %d: training before weight distribution", ctx.Index)
 			}
-			if err := serveTrain(ctx, ts, net, msg); err != nil {
+			if err := serveTrain(ctx, ts, net, msg, opts); err != nil {
 				if transientServeErr(err) {
 					log.Printf("core: serve party %d: train %q aborted: %v (still serving)", ctx.Index, msg.Session, err)
 					continue
@@ -101,7 +116,7 @@ func ServeParty(ctx *protocol.Ctx, ts nn.TripleSource) error {
 			if net == nil {
 				return fmt.Errorf("core: serve party %d: inference before weight distribution", ctx.Index)
 			}
-			if err := serveInfer(ctx, ts, net, msg); err != nil {
+			if err := serveInfer(ctx, ts, net, msg, opts); err != nil {
 				if transientServeErr(err) {
 					log.Printf("core: serve party %d: infer %q aborted: %v (still serving)", ctx.Index, msg.Session, err)
 					continue
@@ -164,7 +179,25 @@ func recvNetwork(ctx *protocol.Ctx, first transport.Message) (nn.Arch, *nn.Secur
 	return arch, net, nil
 }
 
-func serveTrain(ctx *protocol.Ctx, ts nn.TripleSource, net *nn.SecureNetwork, first transport.Message) error {
+// servedSource wraps ts in a prefetch pipeline for one pass when
+// enabled, the source is owner-backed, and the plan resolved. The
+// cleanup drains in-flight batch responses when the pass ends.
+func servedSource(ctx *protocol.Ctx, ts nn.TripleSource, opts ServeOptions, plan []protocol.TripleRequest, planErr error) (nn.TripleSource, func()) {
+	none := func() {}
+	if opts.PrefetchDepth < 0 || planErr != nil {
+		return ts, none
+	}
+	if _, ok := ts.(nn.OwnerSource); !ok {
+		return ts, none
+	}
+	ps := protocol.NewPrefetchSource(ctx, plan, opts.PrefetchDepth)
+	if ps == nil {
+		return ts, none
+	}
+	return ps, func() { _ = ps.Close() }
+}
+
+func serveTrain(ctx *protocol.Ctx, ts nn.TripleSource, net *nn.SecureNetwork, first transport.Message, opts ServeOptions) error {
 	bx, err := transport.DecodeBundle(first.Payload)
 	if err != nil {
 		return err
@@ -177,19 +210,25 @@ func serveTrain(ctx *protocol.Ctx, ts nn.TripleSource, net *nn.SecureNetwork, fi
 	if err != nil {
 		return err
 	}
-	if err := net.TrainBatch(ctx, ts, first.Session, bx, by, lr); err != nil {
+	plan, planErr := net.TrainPlan(first.Session, bx.Rows(), bx.Cols())
+	src, done := servedSource(ctx, ts, opts, plan, planErr)
+	defer done()
+	if err := net.TrainBatch(ctx, src, first.Session, bx, by, lr); err != nil {
 		return err
 	}
 	// Acknowledge completion so the driver can pace batches.
 	return ctx.Router.Send(transport.DataOwner, first.Session, "ack", nil)
 }
 
-func serveInfer(ctx *protocol.Ctx, ts nn.TripleSource, net *nn.SecureNetwork, first transport.Message) error {
+func serveInfer(ctx *protocol.Ctx, ts nn.TripleSource, net *nn.SecureNetwork, first transport.Message, opts ServeOptions) error {
 	bx, err := transport.DecodeBundle(first.Payload)
 	if err != nil {
 		return err
 	}
-	logits, err := net.Logits(ctx, ts, first.Session, bx)
+	plan, planErr := net.LogitsPlan(first.Session, bx.Rows(), bx.Cols())
+	src, done := servedSource(ctx, ts, opts, plan, planErr)
+	defer done()
+	logits, err := net.Logits(ctx, src, first.Session, bx)
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ const (
 	stepTripleHadamard = "triple-had"
 	stepTripleMatMul   = "triple-mat"
 	stepAuxPositive    = "aux-pos"
+	stepTripleBatch    = "triple-batch"
 	stepShutdown       = "shutdown"
 	respSuffix         = "/resp"
 	fnPrefix           = "fn/"
@@ -62,6 +63,21 @@ type OwnerService struct {
 	// SuspicionTolerance is the max raw-ring deviation an honest
 	// reconstruction may show (fixed-point truncation slack).
 	SuspicionTolerance float64
+	// TripleTTL bounds how long a dealt entry waits for the remaining
+	// parties to collect their shares. A crashed or flagged party never
+	// requests its share, which would otherwise strand the entry in the
+	// triples map forever; after the TTL the entry is retired alongside
+	// the expired gathers. Zero or negative disables expiry.
+	TripleTTL time.Duration
+	// Resharer, when set, draws the share randomness of delegated
+	// function results (softmax, §III-C) instead of the dealing dealer.
+	// Keeping the two streams separate makes the triple stream a pure
+	// function of the deal order, so the prefetched offline path stays
+	// bit-identical to on-demand dealing no matter how its batched
+	// round-trips interleave with delegated calls. Nil falls back to
+	// the dealing dealer (single-stream legacy behavior). Set before
+	// Run starts.
+	Resharer *sharing.Dealer
 
 	mu      sync.Mutex
 	stats   OwnerStats
@@ -73,7 +89,23 @@ type tripleEntry struct {
 	bundles [sharing.NumParties]sharing.TripleBundle
 	aux     [sharing.NumParties]sharing.Bundle
 	isAux   bool
-	replied int
+	// served is the bitmask of parties already given their share. A
+	// bit, not a counter: a party re-requesting the same item (or
+	// listing it twice in a batch) must not retire the entry early —
+	// later honest requesters would be dealt a fresh, inconsistent
+	// triple.
+	served  uint8
+	dealtAt time.Time
+}
+
+// payloadFor encodes one party's share of the entry, byte-identical
+// between the individual and the batched response paths.
+func (e *tripleEntry) payloadFor(party int) []byte {
+	if e.isAux {
+		return transport.EncodeBundle(e.aux[party-1])
+	}
+	t := e.bundles[party-1]
+	return transport.EncodeBundles(t.A, t.B, t.C)
 }
 
 type gatherEntry struct {
@@ -91,20 +123,33 @@ func NewOwnerService(ep transport.Endpoint, dealer *sharing.Dealer) *OwnerServic
 		sinks:              make(map[string]SinkFunc),
 		GatherTimeout:      party1GatherTimeout,
 		SuspicionTolerance: 16,
+		TripleTTL:          defaultTripleTTL,
 		triples:            make(map[string]*tripleEntry),
 		gathers:            make(map[string]*gatherEntry),
 	}
 }
 
-const party1GatherTimeout = 2 * time.Second
+const (
+	party1GatherTimeout = 2 * time.Second
+	// defaultTripleTTL is generous against honest skew — all honest
+	// parties collect a dealt entry within the same protocol step —
+	// while still reclaiming entries stranded by a crashed party.
+	defaultTripleTTL = time.Minute
+)
 
-// RegisterUnary installs a delegated function under name.
+// RegisterUnary installs a delegated function under name. Safe to call
+// concurrently with a running service.
 func (s *OwnerService) RegisterUnary(name string, fn UnaryFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.fns[name] = fn
 }
 
-// RegisterSink installs a reveal handler under name.
+// RegisterSink installs a reveal handler under name. Safe to call
+// concurrently with a running service.
 func (s *OwnerService) RegisterSink(name string, fn SinkFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.sinks[name] = fn
 }
 
@@ -126,6 +171,7 @@ func (s *OwnerService) Run() error {
 		if err != nil {
 			if errors.Is(err, transport.ErrTimeout) {
 				s.expireGathers()
+				s.expireTriples()
 				continue
 			}
 			if errors.Is(err, transport.ErrClosed) {
@@ -150,6 +196,7 @@ func (s *OwnerService) Run() error {
 				transport.ActorName(s.ep.Self()), msg.Session, msg.Step, transport.ActorName(msg.From), err)
 		}
 		s.expireGathers()
+		s.expireTriples()
 	}
 }
 
@@ -162,6 +209,8 @@ func (s *OwnerService) dispatch(msg transport.Message) error {
 	switch {
 	case msg.Step == stepTripleHadamard || msg.Step == stepTripleMatMul || msg.Step == stepAuxPositive:
 		return s.handleDeal(msg)
+	case msg.Step == stepTripleBatch:
+		return s.handleBatchDeal(msg)
 	case strings.HasPrefix(msg.Step, fnPrefix):
 		return s.handleGather(msg)
 	case strings.HasPrefix(msg.Step, sinkPrefix):
@@ -178,81 +227,156 @@ func (s *OwnerService) handleDeal(msg transport.Message) error {
 	if from < 1 || from > sharing.NumParties {
 		return nil // only computing parties may request triples
 	}
-	key := msg.Session + "|" + msg.Step
-	s.mu.Lock()
-	entry, ok := s.triples[key]
-	s.mu.Unlock()
-	if !ok {
-		var err error
-		entry, err = s.deal(msg.Step, msg.Payload)
-		if err != nil {
-			// Malformed dims from a (possibly Byzantine) party: ignore.
-			return nil
-		}
-		s.mu.Lock()
-		if existing, raced := s.triples[key]; raced {
-			entry = existing
-		} else {
-			s.triples[key] = entry
-			s.stats.TriplesDealt++
-		}
-		s.mu.Unlock()
+	dims, err := decodeDims(msg.Payload)
+	if err != nil {
+		return nil // malformed dims from a (possibly Byzantine) party: ignore
 	}
-
-	var payload []byte
-	if entry.isAux {
-		payload = transport.EncodeBundle(entry.aux[from-1])
-	} else {
-		t := entry.bundles[from-1]
-		payload = transport.EncodeBundles(t.A, t.B, t.C)
+	req, err := reqFromWire(msg.Step, dims)
+	if err != nil {
+		return nil
 	}
-	if err := s.ep.Send(transport.Message{To: from, Session: msg.Session, Step: msg.Step + respSuffix, Payload: payload}); err != nil {
+	req.Session = msg.Session
+	reqs := []TripleRequest{req}
+	entries, err := s.ensureDealt(reqs)
+	if err != nil {
+		return nil
+	}
+	err = s.ep.Send(transport.Message{To: from, Session: msg.Session, Step: msg.Step + respSuffix, Payload: entries[0].payloadFor(from)})
+	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	entry.replied++
-	if entry.replied >= sharing.NumParties {
-		delete(s.triples, key)
-	}
-	s.mu.Unlock()
+	s.markServed(reqs, from)
 	return nil
 }
 
-func (s *OwnerService) deal(step string, payload []byte) (*tripleEntry, error) {
-	dims, err := decodeDims(payload)
-	if err != nil {
-		return nil, err
+// handleBatchDeal serves N dealing requests carried by one message with
+// N item payloads in one response — a whole plan segment costs one
+// round-trip and one frame instead of N (the offline-phase pipeline).
+// Malformed or implausible batches are ignored: a Byzantine requester
+// only hurts itself.
+func (s *OwnerService) handleBatchDeal(msg transport.Message) error {
+	from := msg.From
+	if from < 1 || from > sharing.NumParties {
+		return nil
 	}
-	switch step {
-	case stepTripleHadamard:
-		if len(dims) != 2 {
-			return nil, fmt.Errorf("protocol: hadamard triple needs 2 dims, got %d", len(dims))
+	reqs, err := DecodeTripleBatch(msg.Payload)
+	if err != nil {
+		return nil
+	}
+	entries, err := s.ensureDealt(reqs)
+	if err != nil {
+		return nil
+	}
+	items := make([][]byte, len(entries))
+	for i, e := range entries {
+		items[i] = e.payloadFor(from)
+	}
+	err = s.ep.Send(transport.Message{To: from, Session: msg.Session, Step: stepTripleBatch + respSuffix, Payload: encodeBatchPayloads(items)})
+	if err != nil {
+		return err
+	}
+	s.markServed(reqs, from)
+	return nil
+}
+
+// ensureDealt returns one dealt entry per request, dealing all missing
+// items in a single dealer batch (independent products run
+// concurrently there). Entries are keyed by (kind, session, dims) —
+// not session alone — so a Byzantine first-requester announcing wrong
+// dims for a session gets its own useless entry instead of poisoning
+// the honest parties' triple, and so batched and individual requests
+// for the same item converge on the same entry regardless of each
+// party's prefetch depth.
+func (s *OwnerService) ensureDealt(reqs []TripleRequest) ([]*tripleEntry, error) {
+	entries := make([]*tripleEntry, len(reqs))
+	var missing []int
+	seen := make(map[string]bool, len(reqs))
+	s.mu.Lock()
+	for i, r := range reqs {
+		key := r.Key()
+		if e, ok := s.triples[key]; ok {
+			entries[i] = e
+		} else if !seen[key] {
+			seen[key] = true
+			missing = append(missing, i)
 		}
-		ts, err := s.dealer.HadamardTriple(dims[0], dims[1])
+		// Duplicate keys inside one batch resolve below, after dealing.
+	}
+	s.mu.Unlock()
+	if len(missing) > 0 {
+		orders := make([]sharing.BatchOrder, len(missing))
+		for oi, i := range missing {
+			orders[oi] = reqs[i].order()
+		}
+		items, err := s.dealer.DealBatch(orders)
 		if err != nil {
 			return nil, err
 		}
-		return &tripleEntry{bundles: ts}, nil
-	case stepTripleMatMul:
-		if len(dims) != 3 {
-			return nil, fmt.Errorf("protocol: matmul triple needs 3 dims, got %d", len(dims))
+		now := time.Now()
+		s.mu.Lock()
+		for oi, i := range missing {
+			key := reqs[i].Key()
+			if existing, raced := s.triples[key]; raced {
+				entries[i] = existing
+				continue
+			}
+			e := &tripleEntry{bundles: items[oi].Triple, aux: items[oi].Aux, isAux: items[oi].IsAux, dealtAt: now}
+			s.triples[key] = e
+			s.stats.TriplesDealt++
+			entries[i] = e
 		}
-		ts, err := s.dealer.MatMulTriple(dims[0], dims[1], dims[2])
-		if err != nil {
-			return nil, err
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	for i, r := range reqs {
+		if entries[i] == nil {
+			entries[i] = s.triples[r.Key()]
 		}
-		return &tripleEntry{bundles: ts}, nil
-	case stepAuxPositive:
-		if len(dims) != 2 {
-			return nil, fmt.Errorf("protocol: aux matrix needs 2 dims, got %d", len(dims))
+	}
+	s.mu.Unlock()
+	for i, e := range entries {
+		if e == nil {
+			return nil, fmt.Errorf("protocol: batch item %d lost its entry", i)
 		}
-		bs, err := s.dealer.AuxPositive(dims[0], dims[1])
-		if err != nil {
-			return nil, err
+	}
+	return entries, nil
+}
+
+// markServed records that party `from` received its share of each
+// request, retiring entries once every party collected theirs.
+func (s *OwnerService) markServed(reqs []TripleRequest, from int) {
+	bit := uint8(1) << uint(from-1)
+	const all = uint8(1<<sharing.NumParties) - 1
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range reqs {
+		key := r.Key()
+		e, ok := s.triples[key]
+		if !ok {
+			continue
 		}
-		return &tripleEntry{aux: bs, isAux: true}, nil
-	default:
-		return nil, fmt.Errorf("protocol: unknown deal step %q", step)
+		e.served |= bit
+		if e.served == all {
+			delete(s.triples, key)
+		}
+	}
+}
+
+// expireTriples retires dealt entries that not every party collected
+// within TripleTTL (a crashed or flagged party strands them
+// otherwise). Honest peers that still ask for an expired entry are
+// simply dealt a fresh one — all parties still waiting on it request
+// within the same protocol step, far inside the TTL.
+func (s *OwnerService) expireTriples() {
+	if s.TripleTTL <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, e := range s.triples {
+		if time.Since(e.dealtAt) >= s.TripleTTL {
+			delete(s.triples, key)
+		}
 	}
 }
 
@@ -347,12 +471,17 @@ func (s *OwnerService) finishGather(session string, g *gatherEntry) error {
 
 	switch {
 	case strings.HasPrefix(g.step, sinkPrefix):
-		if fn, ok := s.sinks[strings.TrimPrefix(g.step, sinkPrefix)]; ok {
+		s.mu.Lock()
+		fn, ok := s.sinks[strings.TrimPrefix(g.step, sinkPrefix)]
+		s.mu.Unlock()
+		if ok {
 			fn(session, value, dec)
 		}
 		return nil
 	case strings.HasPrefix(g.step, fnPrefix):
+		s.mu.Lock()
 		fn, ok := s.fns[strings.TrimPrefix(g.step, fnPrefix)]
+		s.mu.Unlock()
 		if !ok {
 			return fmt.Errorf("protocol: no delegated function %q", g.step)
 		}
@@ -363,7 +492,11 @@ func (s *OwnerService) finishGather(session string, g *gatherEntry) error {
 		s.mu.Lock()
 		s.stats.Calls++
 		s.mu.Unlock()
-		bundles, err := s.dealer.Share(out)
+		resharer := s.Resharer
+		if resharer == nil {
+			resharer = s.dealer
+		}
+		bundles, err := resharer.Share(out)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,8 @@
 package protocol
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -18,7 +20,11 @@ type ownerEnv struct {
 	done    chan error
 }
 
-func newOwnerEnv(t *testing.T) *ownerEnv {
+func newOwnerEnv(t *testing.T) *ownerEnv { return newOwnerEnvTuned(t, nil) }
+
+// newOwnerEnvTuned lets a test adjust service knobs (timeouts, TTLs)
+// before the Run loop starts, so the fields need no synchronization.
+func newOwnerEnvTuned(t *testing.T, tune func(*OwnerService)) *ownerEnv {
 	t.Helper()
 	env := newPartyEnv(t, true)
 	ep, err := env.net.Endpoint(transport.ModelOwner)
@@ -27,6 +33,9 @@ func newOwnerEnv(t *testing.T) *ownerEnv {
 	}
 	svc := NewOwnerService(ep, env.dealer)
 	svc.GatherTimeout = 300 * time.Millisecond
+	if tune != nil {
+		tune(svc)
+	}
 	oe := &ownerEnv{partyEnv: env, svc: svc, ownerEP: ep, done: make(chan error, 1)}
 	go func() { oe.done <- svc.Run() }()
 	t.Cleanup(func() {
@@ -214,5 +223,218 @@ func TestOwnerIgnoresGarbage(t *testing.T) {
 	})
 	if outs[0].A.Primary.Size() != 1 {
 		t.Fatal("triple after garbage has wrong shape")
+	}
+}
+
+// TestOwnerBatchDealMatchesIndividual has P1 fetch a triple through
+// the batched wire step while P2 and P3 request the same key
+// individually; the three shares must belong to one consistent triple
+// (exercised by opening a SecMulBT product built from them).
+func TestOwnerBatchDealMatchesIndividual(t *testing.T) {
+	env := newOwnerEnv(t)
+	x, _ := tensor.FromSlice(2, 2, []float64{1.5, -2, 0.25, 3})
+	y, _ := tensor.FromSlice(2, 2, []float64{2, 4, -8, 0.5})
+	bx, by := shareFloats(t, env.partyEnv, x), shareFloats(t, env.partyEnv, y)
+	outs := runAll(t, env.partyEnv, func(ctx *Ctx) (sharing.Bundle, error) {
+		var (
+			triple sharing.TripleBundle
+			err    error
+		)
+		if ctx.Index == 1 {
+			reqs := []TripleRequest{{Kind: ReqHadamard, Session: "bi1", M: 2, N: 2}}
+			payload, berr := EncodeTripleBatch(reqs)
+			if berr != nil {
+				return sharing.Bundle{}, berr
+			}
+			if berr := ctx.Router.Send(transport.ModelOwner, "bi1#env", stepTripleBatch, payload); berr != nil {
+				return sharing.Bundle{}, berr
+			}
+			msg, berr := ctx.Router.Expect(transport.ModelOwner, "bi1#env", stepTripleBatch+respSuffix)
+			if berr != nil {
+				return sharing.Bundle{}, berr
+			}
+			items, berr := decodeBatchPayloads(msg.Payload)
+			if berr != nil {
+				return sharing.Bundle{}, berr
+			}
+			if len(items) != 1 {
+				return sharing.Bundle{}, fmt.Errorf("batch response carried %d items, want 1", len(items))
+			}
+			triple, err = decodeTriple(items[0])
+		} else {
+			triple, err = RequestHadamardTriple(ctx, "bi1", 2, 2)
+		}
+		if err != nil {
+			return sharing.Bundle{}, err
+		}
+		return SecMulBT(ctx, "bi1", bx[ctx.Index-1], by[ctx.Index-1], triple)
+	})
+	want, _ := x.Hadamard(y)
+	floatsClose(t, env.params, decideBundles(t, outs, nil), want, 8)
+	if st := env.svc.Stats(); st.TriplesDealt != 1 {
+		t.Fatalf("triples dealt = %d, want 1 — batch and individual requests for one key must share the entry", st.TriplesDealt)
+	}
+}
+
+// TestOwnerIgnoresMalformedBatch throws Byzantine batch payloads at
+// the owner — garbage bytes, zero and overflowing dims, an unknown
+// kind — and checks the service neither crashes nor stops serving
+// well-formed requests.
+func TestOwnerIgnoresMalformedBatch(t *testing.T) {
+	env := newOwnerEnv(t)
+	ctx := env.ctxs[0]
+	le := func(v uint32) []byte { return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)} }
+	item := func(kind byte, dims ...uint32) []byte {
+		buf := append(le(1), kind, 1, 0, 'x') // count=1, kind, session "x"
+		for _, d := range dims {
+			buf = append(buf, le(d)...)
+		}
+		return buf
+	}
+	poison := [][]byte{
+		nil,                          // empty
+		{0xff, 0xee},                 // truncated header
+		le(1 << 20),                  // absurd item count, no body
+		item(1, 0, 7),                // zero dim
+		item(1, 1<<25, 7),            // dim past the 1<<24 cap
+		item(9, 2, 2),                // unknown kind
+		append(item(1, 2, 2), 0xAB),  // trailing byte
+		item(2, 2, 2),                // matmul kind with hadamard arity
+	}
+	for i, p := range poison {
+		if err := ctx.Router.Send(transport.ModelOwner, fmt.Sprintf("byz%d", i), stepTripleBatch, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All honest parties must still be served, via both wire paths.
+	outs := runAll(t, env.partyEnv, func(ctx *Ctx) (sharing.TripleBundle, error) {
+		reqs := []TripleRequest{{Kind: ReqMatMul, Session: "mb-ok", M: 1, N: 2, P: 3}}
+		payload, err := EncodeTripleBatch(reqs)
+		if err != nil {
+			return sharing.TripleBundle{}, err
+		}
+		if err := ctx.Router.Send(transport.ModelOwner, "mb-ok#env", stepTripleBatch, payload); err != nil {
+			return sharing.TripleBundle{}, err
+		}
+		msg, err := ctx.Router.Expect(transport.ModelOwner, "mb-ok#env", stepTripleBatch+respSuffix)
+		if err != nil {
+			return sharing.TripleBundle{}, err
+		}
+		items, err := decodeBatchPayloads(msg.Payload)
+		if err != nil {
+			return sharing.TripleBundle{}, err
+		}
+		return decodeTriple(items[0])
+	})
+	for p := 0; p < sharing.NumParties; p++ {
+		if outs[p].C.Primary.Rows != 1 || outs[p].C.Primary.Cols != 3 {
+			t.Fatalf("party %d triple after poison has shape %dx%d, want 1x3",
+				p+1, outs[p].C.Primary.Rows, outs[p].C.Primary.Cols)
+		}
+	}
+	if st := env.svc.Stats(); st.TriplesDealt != 1 {
+		t.Fatalf("triples dealt = %d, want 1 — poisoned requests must not mint entries", st.TriplesDealt)
+	}
+}
+
+// TestOwnerExpiresStaleTriples checks the TTL reaper: an entry only
+// one party ever collects must leave the owner's map instead of
+// leaking, and a later request for the same key re-deals.
+func TestOwnerExpiresStaleTriples(t *testing.T) {
+	env := newOwnerEnvTuned(t, func(svc *OwnerService) {
+		svc.GatherTimeout = 100 * time.Millisecond
+		svc.TripleTTL = 50 * time.Millisecond
+	})
+	if _, err := RequestHadamardTriple(env.ctxs[0], "ttl1", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		env.svc.mu.Lock()
+		n := len(env.svc.triples)
+		env.svc.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stale triple never expired (%d entries left)", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The key is free again: a fresh request re-deals.
+	if _, err := RequestHadamardTriple(env.ctxs[0], "ttl1", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := env.svc.Stats(); st.TriplesDealt != 2 {
+		t.Fatalf("triples dealt = %d, want 2 (expired entry must be re-dealt)", st.TriplesDealt)
+	}
+}
+
+// TestOwnerRegisterDuringTraffic registers functions and sinks while
+// delegated calls are in flight; with -race this pins down the fns /
+// sinks map guards.
+func TestOwnerRegisterDuringTraffic(t *testing.T) {
+	env := newOwnerEnv(t)
+	env.svc.RegisterUnary("id", func(m Mat) (Mat, error) { return m, nil })
+	x, _ := tensor.FromSlice(1, 2, []float64{1, 2})
+	bx := shareFloats(t, env.partyEnv, x)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			env.svc.RegisterUnary(fmt.Sprintf("fn%d", i), func(m Mat) (Mat, error) { return m, nil })
+			env.svc.RegisterSink(fmt.Sprintf("sink%d", i), func(string, Mat, sharing.Decision) {})
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for round := 0; round < 3; round++ {
+		session := fmt.Sprintf("rr%d", round)
+		outs := runAll(t, env.partyEnv, func(ctx *Ctx) (sharing.Bundle, error) {
+			return CallOwner(ctx, transport.ModelOwner, "id", session, bx[ctx.Index-1])
+		})
+		floatsClose(t, env.params, decideBundles(t, outs, nil), x, 2)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestOwnerFnGatherToleratesSilentParty exercises the gather-expiry
+// path for delegated functions (the sink variant is covered above):
+// with P3 silent, the owner must evaluate from the two received
+// bundles after the timeout, answer the contributors, and suspect P3.
+func TestOwnerFnGatherToleratesSilentParty(t *testing.T) {
+	env := newOwnerEnvTuned(t, func(svc *OwnerService) {
+		svc.GatherTimeout = 100 * time.Millisecond
+	})
+	env.svc.RegisterUnary("echo", func(m Mat) (Mat, error) { return m, nil })
+	x, _ := tensor.FromSlice(1, 2, []float64{4, 5})
+	bx := shareFloats(t, env.partyEnv, x)
+	var (
+		wg   sync.WaitGroup
+		outs [2]sharing.Bundle
+		errs [2]error
+	)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = CallOwner(env.ctxs[i], transport.ModelOwner, "echo", "fx1", bx[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("party %d delegated call failed despite guaranteed output delivery: %v", i+1, err)
+		}
+	}
+	if st := env.svc.Stats(); st.Suspicions[3] == 0 {
+		t.Fatalf("owner did not suspect the silent P3 (stats %+v)", st)
 	}
 }

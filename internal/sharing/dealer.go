@@ -133,12 +133,9 @@ func (d *Dealer) MatMulTriple(m, n, p int) ([NumParties]TripleBundle, error) {
 // comparison magnitude only up to that factor, matching the leakage the
 // paper accepts for its comparison protocol.
 func (d *Dealer) AuxPositive(rows, cols int) ([NumParties]Bundle, error) {
-	t, err := tensor.New[int64](rows, cols)
+	t, err := d.auxMatrix(rows, cols)
 	if err != nil {
 		return [NumParties]Bundle{}, err
-	}
-	for i := range t.Data {
-		t.Data[i] = d.params.FromFloat(0.5 + 7.5*unitFloat(d.src))
 	}
 	return d.Share(t)
 }

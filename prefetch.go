@@ -1,0 +1,24 @@
+package trustddl
+
+import "github.com/trustddl/trustddl/internal/protocol"
+
+// SetPrefetchDepth sets the process-wide default depth of the
+// correlated-randomness prefetch pipeline and returns the value
+// applied. With depth n ≥ 1, each computing party derives the triple
+// plan of an upcoming forward pass or training step, fetches it from
+// the model owner in batched segments of n requests, and requests the
+// next segment in the background while the current layers compute —
+// collapsing the ~one-owner-round-trip-per-layer of on-demand dealing
+// to ~one per segment, off the online critical path (the offline/
+// online preprocessing split of §III-A). 0 (the initial default)
+// keeps on-demand dealing; negative values are clamped to 0.
+//
+// Prefetched and on-demand runs are bit-identical: Beaver triples
+// cancel exactly in the BT protocols, so only latency changes. The
+// per-deployment Config.PrefetchDepth overrides this default; it only
+// applies to online dealing (offline precomputed pools have no
+// round-trips to hide).
+func SetPrefetchDepth(n int) int { return protocol.SetDefaultPrefetchDepth(n) }
+
+// PrefetchDepth returns the process-wide default prefetch depth.
+func PrefetchDepth() int { return protocol.DefaultPrefetchDepth() }
