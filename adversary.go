@@ -50,3 +50,19 @@ func Delay(d time.Duration, stepSuffix string) SendInterceptor {
 func CorruptPayload(stepSuffix string) SendInterceptor {
 	return byzantine.CorruptPayload(stepSuffix)
 }
+
+// Gate switches a fault window on and off at runtime, so chaos
+// schedules can scope a party's misbehaviour to specific phases of a
+// session (byzantine.Gate).
+type Gate = byzantine.Gate
+
+// CrashRestart models a crash window: while the gate is on, every
+// outbound message of the party is dropped (peers see pure silence,
+// like a dead process).
+func CrashRestart(down *Gate) SendInterceptor { return byzantine.CrashRestart(down) }
+
+// StallWhile holds matching messages back while the gate is on and
+// releases them when it turns off — a stalled-but-alive writer.
+func StallWhile(g *Gate, stepSuffix string) SendInterceptor {
+	return byzantine.StallWhile(g, stepSuffix)
+}

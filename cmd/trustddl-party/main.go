@@ -64,6 +64,7 @@ func run(args []string) error {
 	sendRetries := fs.Int("send-retries", 0, "send attempts incl. redials per message (0 = transport default)")
 	retryBackoff := fs.Duration("retry-backoff", 0, "initial redial backoff, doubled per retry (0 = transport default)")
 	prefetchDepth := fs.Int("prefetch-depth", 0, "triple prefetch pipeline depth (0 = off, n = batched segments of n requests)")
+	rejoin := fs.Bool("rejoin", false, "announce this party as a restarted member so the driver re-provisions it from the latest checkpoint")
 	genKey := fs.Bool("genkey", false, "generate a fresh ed25519 identity (seed + public key) and exit")
 	keySeed := fs.String("key", "", "this party's ed25519 seed in hex (from -genkey); enables authenticated handshakes")
 	peerKeys := fs.String("peer-keys", "", "all five actors' ed25519 public keys as 'id=hex' pairs, comma separated (required with -key)")
@@ -135,7 +136,7 @@ func run(args []string) error {
 	}
 	fmt.Printf("trustddl-party: P%d serving at %s (%s mode, F=%d)\n",
 		*partyID, addrMap[*partyID], mode, *fracBits)
-	err = core.ServePartyOpts(ctx, nn.OwnerSource{Ctx: ctx}, core.ServeOptions{PrefetchDepth: *prefetchDepth})
+	err = core.ServePartyOpts(ctx, nn.OwnerSource{Ctx: ctx}, core.ServeOptions{PrefetchDepth: *prefetchDepth, Rejoin: *rejoin})
 	// Unblock the signal goroutine on normal exit.
 	signal.Stop(sigs)
 	close(sigs)

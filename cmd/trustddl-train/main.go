@@ -14,12 +14,25 @@
 //	trustddl-train [-epochs 5] [-train 300] [-test 100] [-batch 10]
 //	               [-lr 0.1] [-seed 1] [-data DIR] [-print-config]
 //	               [-parallelism P] [-prefetch-depth N]
+//	               [-checkpoint-dir DIR] [-checkpoint-every N] [-resume]
+//	               [-suspicion-tol T]
+//
+// With -checkpoint-dir the secure engine runs as a fault-tolerant
+// session: the model owner checkpoints the revealed model plus training
+// cursor to DIR (atomically replaced), transient faults are retried
+// from the last checkpoint, and SIGINT stops cleanly at the next batch
+// boundary after writing a final checkpoint. A later run with -resume
+// continues from that snapshot.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
 	trustddl "github.com/trustddl/trustddl"
 )
@@ -45,6 +58,10 @@ func run(args []string) error {
 	savePath := fs.String("save", "", "after training, save the secure-trained model to this file")
 	parallelism := fs.Int("parallelism", 0, "tensor-kernel worker goroutines (0 = NumCPU, 1 = serial)")
 	prefetchDepth := fs.Int("prefetch-depth", 0, "triple prefetch pipeline depth for online dealing (0 = on-demand)")
+	ckptDir := fs.String("checkpoint-dir", "", "run the secure engine as a fault-tolerant session, checkpointing to this directory")
+	ckptEvery := fs.Int("checkpoint-every", 0, "mid-epoch checkpoint cadence in batches (0 = end of epoch only)")
+	resume := fs.Bool("resume", false, "continue from the checkpoint in -checkpoint-dir instead of starting fresh")
+	suspTol := fs.Float64("suspicion-tol", 0, "decision-rule suspicion tolerance in raw ring units (0 = per-site defaults)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +80,17 @@ func run(args []string) error {
 	}
 	if *sweep {
 		return runPrecisionSweep(*epochs, *trainN, *testN, *batch, *lr, *seed)
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if *ckptDir != "" {
+		return runSession(sessionParams{
+			dir: *ckptDir, every: *ckptEvery, resume: *resume,
+			epochs: *epochs, trainN: *trainN, testN: *testN, batch: *batch,
+			lr: *lr, seed: *seed, dataDir: *dataDir, suspTol: *suspTol,
+			save: *savePath,
+		})
 	}
 
 	fmt.Println("TrustDDL reproduction — Fig. 2: Model Accuracy per Epoch")
@@ -92,6 +120,131 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+type sessionParams struct {
+	dir     string
+	every   int
+	resume  bool
+	epochs  int
+	trainN  int
+	testN   int
+	batch   int
+	lr      float64
+	seed    uint64
+	dataDir string
+	suspTol float64
+	save    string
+}
+
+// runSession drives the fault-tolerant secure training session:
+// checkpoint/resume, retry-from-checkpoint on transient faults, and a
+// graceful SIGINT stop that persists the cursor for a later -resume.
+func runSession(p sessionParams) error {
+	train, test, _ := trustddl.LoadDataset(p.dataDir, p.trainN, p.testN, p.seed)
+	cluster, err := trustddl.New(trustddl.Config{
+		Mode:               trustddl.Malicious,
+		Triples:            trustddl.OfflinePrecomputed,
+		Seed:               p.seed,
+		SuspicionTolerance: p.suspTol,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	// SIGINT/SIGTERM stop the session at the next batch boundary, after
+	// a final checkpoint; a second signal kills the process hard.
+	var stopping atomic.Bool
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		if _, ok := <-sigs; !ok {
+			return
+		}
+		fmt.Println("trustddl-train: stopping at next batch boundary (signal again to force)")
+		stopping.Store(true)
+		if _, ok := <-sigs; ok {
+			os.Exit(1)
+		}
+	}()
+
+	sc := trustddl.SessionConfig{
+		TrainConfig: trustddl.TrainConfig{
+			Epochs: p.epochs, Batch: p.batch, LR: p.lr, EvalLimit: p.testN,
+			OnEpoch: func(epoch int, acc float64) {
+				fmt.Printf("  [TrustDDL] epoch %d: accuracy %.2f%% (checkpointed)\n", epoch, 100*acc)
+			},
+		},
+		CheckpointDir:   p.dir,
+		CheckpointEvery: p.every,
+		OnFault: func(epoch, at int, err error) {
+			fmt.Printf("  [TrustDDL] fault at epoch %d batch %d: %v\n", epoch, at, err)
+		},
+		OnBatch: func(int, int) error {
+			if stopping.Load() {
+				return fmt.Errorf("interrupted")
+			}
+			return nil
+		},
+	}
+
+	var results []trustddl.EpochResult
+	var run *trustddl.Run
+	if p.resume {
+		ck, err := trustddl.LoadCheckpoint(trustddl.CheckpointPath(p.dir))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trustddl-train: resuming at epoch %d, batch offset %d (%d epochs done)\n",
+			ck.Epoch, ck.Batch, len(ck.Results))
+		results, run, err = cluster.ResumeTrain(ck, train, test, sc)
+		if err != nil {
+			if errors.Is(err, trustddl.ErrSessionStopped) {
+				fmt.Printf("trustddl-train: session stopped; continue with -resume (%v)\n", err)
+				return nil
+			}
+			return err
+		}
+	} else {
+		weights, err := trustddl.InitPaperWeights(p.seed)
+		if err != nil {
+			return err
+		}
+		results, run, err = cluster.TrainSession(weights, train, test, sc)
+		if err != nil {
+			if errors.Is(err, trustddl.ErrSessionStopped) {
+				fmt.Printf("trustddl-train: session stopped; continue with -resume (%v)\n", err)
+				return nil
+			}
+			return err
+		}
+	}
+
+	fmt.Printf("\ntrustddl-train: session complete — %d epoch(s), final accuracy %.2f%%\n",
+		len(results), 100*finalAccuracy(results))
+	if report := cluster.Suspicions(); len(report.Convicted) > 0 {
+		fmt.Printf("suspicion ledger convicted parties %v:\n%s\n", report.Convicted, report.String())
+	}
+	if p.save != "" {
+		trained, err := run.WeightMatrices()
+		if err != nil {
+			return err
+		}
+		if err := trustddl.SaveModel(p.save, trustddl.PaperArch(), trained); err != nil {
+			return err
+		}
+		fmt.Printf("secure-trained model saved to %s\n", p.save)
+	}
+	return nil
+}
+
+func finalAccuracy(results []trustddl.EpochResult) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	return results[len(results)-1].Accuracy
 }
 
 // trainAndSave repeats the secure training (the Fig2 harness does not

@@ -10,6 +10,7 @@ package byzantine
 
 import (
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/trustddl/trustddl/internal/protocol"
@@ -135,10 +136,17 @@ func DropAll() transport.SendInterceptor {
 // Delay returns an interceptor that delays every matching message by d,
 // modelling the "deliberately delays its messages" behaviour of
 // §III-B. Steps is a suffix filter; empty means all messages.
+//
+// Delivery is asynchronous: the send returns immediately and the
+// intercepted endpoint ships the message d later, so the delayed party
+// models link latency, not a frozen writer — its unmatched messages
+// (and messages to other peers) are not head-of-line blocked. Matching
+// messages to the same destination keep their relative order; an
+// unmatched message can overtake a delayed one, as on a real network.
 func Delay(d time.Duration, stepSuffix string) transport.SendInterceptor {
 	return func(msg transport.Message) *transport.Message {
 		if stepSuffix == "" || strings.HasSuffix(msg.Step, stepSuffix) {
-			time.Sleep(d)
+			msg.DelayBy = d
 		}
 		return &msg
 	}
@@ -173,6 +181,72 @@ func StallWriter(release <-chan struct{}, stepSuffix string) transport.SendInter
 	return func(msg transport.Message) *transport.Message {
 		if stepSuffix == "" || strings.HasSuffix(msg.Step, stepSuffix) {
 			<-release
+		}
+		return &msg
+	}
+}
+
+// Gate toggles a fault window at runtime, so chaos schedules can turn
+// a behaviour on for a few batches and off again. The zero value is
+// off (fault inactive).
+type Gate struct{ on atomic.Bool }
+
+// Set switches the fault window on or off.
+func (g *Gate) Set(on bool) { g.on.Store(on) }
+
+// On reports whether the fault window is active.
+func (g *Gate) On() bool { return g.on.Load() }
+
+// Adversary wraps adv so it only corrupts while the gate is on; outside
+// the window the party behaves honestly.
+func (g *Gate) Adversary(adv protocol.Adversary) protocol.Adversary {
+	return gatedAdversary{gate: g, inner: adv}
+}
+
+type gatedAdversary struct {
+	gate  *Gate
+	inner protocol.Adversary
+}
+
+func (a gatedAdversary) CorruptPreCommit(session, step string, bs []sharing.Bundle) []sharing.Bundle {
+	if !a.gate.On() {
+		return bs
+	}
+	return a.inner.CorruptPreCommit(session, step, bs)
+}
+
+func (a gatedAdversary) CorruptPostCommit(to int, session, step string, bs []sharing.Bundle) []sharing.Bundle {
+	if !a.gate.On() {
+		return bs
+	}
+	return a.inner.CorruptPostCommit(to, session, step, bs)
+}
+
+// CrashRestart returns an interceptor modelling a crash-restart fault:
+// while the gate is on the party is dark — everything it sends is
+// dropped — and when the gate closes it resumes sending, as a process
+// that died and came back. Use the cluster-level PartySupervisor for a
+// real kill/restart (process state lost, rejoin required); this
+// interceptor models the lighter fault where only connectivity dies.
+func CrashRestart(down *Gate) transport.SendInterceptor {
+	return func(msg transport.Message) *transport.Message {
+		if down.On() {
+			return nil
+		}
+		return &msg
+	}
+}
+
+// StallWhile returns an interceptor for a windowed stalled writer:
+// matching sends block while the gate is on and flush once it closes.
+// Unlike StallWriter's one-shot release channel, the window can be
+// opened and closed repeatedly from a chaos schedule.
+func StallWhile(g *Gate, stepSuffix string) transport.SendInterceptor {
+	return func(msg transport.Message) *transport.Message {
+		if stepSuffix == "" || strings.HasSuffix(msg.Step, stepSuffix) {
+			for g.On() {
+				time.Sleep(time.Millisecond)
+			}
 		}
 		return &msg
 	}

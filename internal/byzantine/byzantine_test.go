@@ -108,18 +108,25 @@ func TestDropAll(t *testing.T) {
 }
 
 func TestDelay(t *testing.T) {
+	// Delay marks matching messages for asynchronous delivery instead of
+	// sleeping in the send path: a blocking delay would head-of-line
+	// block the sender's unmatched messages, which models a frozen
+	// writer rather than link latency.
 	fn := Delay(30*time.Millisecond, "/open")
 	start := time.Now()
-	if fn(transport.Message{Step: "ef/open"}) == nil {
+	out := fn(transport.Message{Step: "ef/open"})
+	if out == nil {
 		t.Fatal("Delay dropped the message")
 	}
-	if time.Since(start) < 30*time.Millisecond {
-		t.Fatal("message not delayed")
+	if time.Since(start) >= 30*time.Millisecond {
+		t.Fatal("Delay blocked the send path")
 	}
-	start = time.Now()
-	_ = fn(transport.Message{Step: "ef/commit"})
-	if time.Since(start) > 20*time.Millisecond {
-		t.Fatal("non-matching message delayed")
+	if out.DelayBy != 30*time.Millisecond {
+		t.Fatalf("DelayBy = %v, want 30ms", out.DelayBy)
+	}
+	out = fn(transport.Message{Step: "ef/commit"})
+	if out == nil || out.DelayBy != 0 {
+		t.Fatalf("non-matching message marked for delay: %+v", out)
 	}
 }
 

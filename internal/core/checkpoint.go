@@ -1,0 +1,299 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+// Checkpoint is a resumable snapshot of a training session, written by
+// the model owner: the plaintext model as decided through the six-way
+// reconstruction rule, the optimizer state needed to continue momentum
+// SGD bit-for-bit in spirit (shares are re-randomized on restore, so
+// continuation matches the uninterrupted run within fixed-point
+// truncation tolerance, not exactly), and the training cursor.
+//
+// The on-disk format is versioned, little-endian, self-describing:
+//
+//	magic "TDDLC" | u16 version | u32 archLen | arch encoding |
+//	u32 epoch | u32 batch | f64 momentum |
+//	u32 numResults | per result: u32 epoch | f64 accuracy |
+//	u32 numWeights | per matrix: u32 rows | u32 cols | rows·cols f64 |
+//	u32 numVelocities (0 or numWeights) | matrices as above
+type Checkpoint struct {
+	// Arch is the architecture the weights belong to.
+	Arch nn.Arch
+	// Epoch is the 1-based epoch the cursor points into.
+	Epoch int
+	// Batch is the sample offset of the next batch within Epoch.
+	Batch int
+	// Momentum is the optimizer coefficient the session ran with (0 =
+	// plain SGD, no velocities stored).
+	Momentum float64
+	// Results are the per-epoch accuracies completed before the
+	// snapshot, so a resumed session reports the full curve.
+	Results []EpochResult
+	// Weights holds one plaintext matrix per parameterized layer.
+	Weights []nn.Mat64
+	// Velocities holds the momentum state, empty for plain SGD.
+	Velocities []nn.Mat64
+}
+
+var checkpointMagic = [5]byte{'T', 'D', 'D', 'L', 'C'}
+
+const checkpointVersion = 1
+
+// checkpointFile is the well-known name inside a checkpoint directory;
+// saves replace it atomically so a crash mid-write never corrupts the
+// latest good snapshot.
+const checkpointFile = "checkpoint.tddlc"
+
+// CheckpointPath returns the snapshot file a session maintains inside
+// dir.
+func CheckpointPath(dir string) string { return filepath.Join(dir, checkpointFile) }
+
+// SaveCheckpoint writes ck to path atomically (temp file + rename in
+// the same directory), so an interrupted save leaves the previous
+// snapshot intact.
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	if err := ck.validate(); err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, checkpointFile+".tmp*")
+	if err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	tmp := f.Name()
+	w := bufio.NewWriter(f)
+	werr := writeCheckpoint(w, ck)
+	if ferr := w.Flush(); werr == nil {
+		werr = ferr
+	}
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: save checkpoint: %w", werr)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a snapshot written by
+// SaveCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load checkpoint: %w", err)
+	}
+	ck, err := parseCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: load checkpoint %s: %w", path, err)
+	}
+	return ck, nil
+}
+
+func (ck *Checkpoint) validate() error {
+	if ck.Arch == nil {
+		return fmt.Errorf("nil architecture")
+	}
+	if len(ck.Weights) != ck.Arch.NumWeightMatrices() {
+		return fmt.Errorf("%d weight matrices for %d parameterized layers", len(ck.Weights), ck.Arch.NumWeightMatrices())
+	}
+	if len(ck.Velocities) != 0 && len(ck.Velocities) != len(ck.Weights) {
+		return fmt.Errorf("%d velocity matrices for %d weight matrices", len(ck.Velocities), len(ck.Weights))
+	}
+	if ck.Epoch < 1 || ck.Batch < 0 {
+		return fmt.Errorf("implausible cursor epoch=%d batch=%d", ck.Epoch, ck.Batch)
+	}
+	return nil
+}
+
+func writeCheckpoint(w *bufio.Writer, ck *Checkpoint) error {
+	if _, err := w.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	if err := writeU16(w, checkpointVersion); err != nil {
+		return err
+	}
+	archBytes := nn.EncodeArch(ck.Arch)
+	if err := writeU32(w, uint32(len(archBytes))); err != nil {
+		return err
+	}
+	if _, err := w.Write(archBytes); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(ck.Epoch)); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(ck.Batch)); err != nil {
+		return err
+	}
+	if err := writeF64(w, ck.Momentum); err != nil {
+		return err
+	}
+	if err := writeU32(w, uint32(len(ck.Results))); err != nil {
+		return err
+	}
+	for _, r := range ck.Results {
+		if err := writeU32(w, uint32(r.Epoch)); err != nil {
+			return err
+		}
+		if err := writeF64(w, r.Accuracy); err != nil {
+			return err
+		}
+	}
+	if err := writeMats(w, ck.Weights); err != nil {
+		return err
+	}
+	return writeMats(w, ck.Velocities)
+}
+
+func parseCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < len(checkpointMagic)+2+4 {
+		return nil, fmt.Errorf("truncated header")
+	}
+	if string(data[:5]) != string(checkpointMagic[:]) {
+		return nil, fmt.Errorf("not a TrustDDL checkpoint file")
+	}
+	data = data[5:]
+	if v := binary.LittleEndian.Uint16(data); v != checkpointVersion {
+		return nil, fmt.Errorf("unsupported checkpoint version %d", v)
+	}
+	data = data[2:]
+	archLen := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if archLen <= 0 || archLen > len(data) {
+		return nil, fmt.Errorf("architecture block truncated")
+	}
+	arch, err := nn.DecodeArch(data[:archLen])
+	if err != nil {
+		return nil, err
+	}
+	data = data[archLen:]
+	if len(data) < 4+4+8+4 {
+		return nil, fmt.Errorf("cursor block truncated")
+	}
+	ck := &Checkpoint{Arch: arch}
+	ck.Epoch = int(binary.LittleEndian.Uint32(data))
+	ck.Batch = int(binary.LittleEndian.Uint32(data[4:]))
+	ck.Momentum = math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	data = data[16:]
+	nRes := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if nRes < 0 || nRes > (1<<20) || len(data) < 12*nRes {
+		return nil, fmt.Errorf("results block implausible (%d entries)", nRes)
+	}
+	ck.Results = make([]EpochResult, nRes)
+	for i := range ck.Results {
+		ck.Results[i].Epoch = int(binary.LittleEndian.Uint32(data))
+		ck.Results[i].Accuracy = math.Float64frombits(binary.LittleEndian.Uint64(data[4:]))
+		data = data[12:]
+	}
+	ck.Weights, data, err = readMats(data)
+	if err != nil {
+		return nil, fmt.Errorf("weights: %w", err)
+	}
+	ck.Velocities, data, err = readMats(data)
+	if err != nil {
+		return nil, fmt.Errorf("velocities: %w", err)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes", len(data))
+	}
+	if err := ck.validate(); err != nil {
+		return nil, err
+	}
+	// Cross-check the stored shapes against the spec.
+	if _, err := arch.BuildPlain(ck.Weights); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+func writeMats(w *bufio.Writer, mats []nn.Mat64) error {
+	if err := writeU32(w, uint32(len(mats))); err != nil {
+		return err
+	}
+	for _, m := range mats {
+		if err := writeU32(w, uint32(m.Rows)); err != nil {
+			return err
+		}
+		if err := writeU32(w, uint32(m.Cols)); err != nil {
+			return err
+		}
+		for _, v := range m.Data {
+			if err := writeF64(w, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func readMats(data []byte) ([]nn.Mat64, []byte, error) {
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("count truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if n < 0 || n > (1<<10) {
+		return nil, nil, fmt.Errorf("implausible matrix count %d", n)
+	}
+	if n == 0 {
+		return nil, data, nil
+	}
+	mats := make([]nn.Mat64, n)
+	for i := 0; i < n; i++ {
+		if len(data) < 8 {
+			return nil, nil, fmt.Errorf("matrix %d header truncated", i)
+		}
+		rows := int(binary.LittleEndian.Uint32(data))
+		cols := int(binary.LittleEndian.Uint32(data[4:]))
+		data = data[8:]
+		if rows <= 0 || cols <= 0 || rows > (1<<20) || cols > (1<<20) || len(data) < 8*rows*cols {
+			return nil, nil, fmt.Errorf("matrix %d body implausible (%dx%d)", i, rows, cols)
+		}
+		m := tensor.Matrix[float64]{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+		for j := range m.Data {
+			m.Data[j] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*j:]))
+		}
+		data = data[8*rows*cols:]
+		mats[i] = m
+	}
+	return mats, data, nil
+}
+
+func writeU16(w *bufio.Writer, v uint16) error {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func writeU32(w *bufio.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func writeF64(w *bufio.Writer, v float64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	_, err := w.Write(b[:])
+	return err
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/trustddl/trustddl/internal/party"
 	"github.com/trustddl/trustddl/internal/protocol"
 	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/suspicion"
 	"github.com/trustddl/trustddl/internal/transport"
 )
 
@@ -98,6 +99,18 @@ type Config struct {
 	// acts purely as the owners' driver and does not attach the party
 	// endpoints.
 	RemoteParties bool
+	// SuspicionThreshold is the attributable-evidence count at which
+	// Suspicions() convicts a party (0 selects
+	// suspicion.DefaultThreshold).
+	SuspicionThreshold int
+	// SuspicionTolerance bounds honest reconstruction disagreement (raw
+	// ring units) at every decision-rule suspicion site: the owner
+	// service, the data owner's reveals, and — in local mode — the
+	// parties' joint decisions. 0 keeps the per-site defaults (16 at the
+	// owners, 64 at the data owner's logits reveal, whose truncation
+	// slack accumulates across the network depth). Deep architectures
+	// raise it to keep honest parties out of the ledger.
+	SuspicionTolerance float64
 }
 
 // Cluster is a wired TrustDDL deployment.
@@ -117,10 +130,13 @@ type Cluster struct {
 	dataRouter *party.Router
 	dataDealer *sharing.Dealer
 
+	ledger *suspicion.Ledger
+
 	mu             sync.Mutex
 	opCounter      int
 	revealed       map[string]protocol.Mat
 	dataSuspicions [sharing.NumParties + 1]int
+	rejoinPending  map[int]bool
 
 	revealCond *sync.Cond
 }
@@ -137,7 +153,12 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Params.FracBits == 0 {
 		cfg.Params = fixed.Default()
 	}
-	c := &Cluster{cfg: cfg, revealed: make(map[string]protocol.Mat)}
+	c := &Cluster{
+		cfg:           cfg,
+		revealed:      make(map[string]protocol.Mat),
+		rejoinPending: make(map[int]bool),
+		ledger:        suspicion.NewLedger(cfg.SuspicionThreshold),
+	}
 	c.revealCond = sync.NewCond(&c.mu)
 	if cfg.Net != nil {
 		c.net = cfg.Net
@@ -181,6 +202,9 @@ func New(cfg Config) (*Cluster, error) {
 			ctx.Adversary = adv
 		}
 		ctx.Optimistic = cfg.Optimistic
+		ctx.Ledger = c.ledger
+		ctx.SuspicionTolerance = cfg.SuspicionTolerance
+		ctx.Router.OnSpoof = c.recordSpoof
 		c.ctxs[i-1] = ctx
 		if pre != nil {
 			view, err := pre.View(i)
@@ -208,7 +232,20 @@ func New(cfg Config) (*Cluster, error) {
 	// softmax calls.
 	c.ownerSvc.Resharer = sharing.NewDealer(newSource(4), cfg.Params)
 	if cfg.Timeout > 0 {
-		c.ownerSvc.GatherTimeout = cfg.Timeout
+		// The owner's gather expiry must undercut the parties' receive
+		// timer: when a dead party strands a delegated-step gather at two
+		// bundles, the expiry decision still has to reach the live
+		// parties before their own wait for the response gives up.
+		c.ownerSvc.GatherTimeout = cfg.Timeout / 2
+	}
+	c.ownerSvc.Ledger = c.ledger
+	if cfg.SuspicionTolerance > 0 {
+		c.ownerSvc.SuspicionTolerance = cfg.SuspicionTolerance
+	}
+	c.ownerSvc.OnRejoin = func(p int) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.rejoinPending[p] = true
 	}
 	c.ownerSvc.RegisterUnary(nn.SoftmaxName, nn.SoftmaxDelegate(cfg.Params))
 	c.ownerSvc.RegisterSink("weights", func(session string, value protocol.Mat, _ sharing.Decision) {
@@ -226,7 +263,13 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("core: attach data owner: %w", err)
 	}
 	c.dataRouter = party.NewRouter(dataEP, cfg.Timeout)
+	c.dataRouter.OnSpoof = c.recordSpoof
 	return c, nil
+}
+
+// recordSpoof turns a router attribution fault into ledger evidence.
+func (c *Cluster) recordSpoof(se *party.SpoofError) {
+	c.ledger.Record(se.From, suspicion.KindSpoof, se.Session, se.Step)
 }
 
 // Close stops the owner service and, if the cluster owns its network,
@@ -306,6 +349,46 @@ func (c *Cluster) FlaggedBy(p int) []int {
 	return out
 }
 
+// Suspicions snapshots the unified suspicion ledger: every piece of
+// detection evidence the cluster has aggregated — commitment
+// violations and decision-rule deviations from the parties (local
+// mode), the owner service's gather bookkeeping, the data owner's
+// reveal decisions, and transport spoof records — plus the parties
+// convicted under the configured threshold. Only attributable evidence
+// counts toward conviction; timeouts never convict a crashed peer.
+func (c *Cluster) Suspicions() suspicion.Report { return c.ledger.Report() }
+
+// SuspicionLedger exposes the cluster's ledger so in-process served
+// parties (PartySupervisor, tests) can contribute their detection
+// evidence to the same aggregate.
+func (c *Cluster) SuspicionLedger() *suspicion.Ledger { return c.ledger }
+
+// pendingRejoins returns parties that announced a restart since the
+// last clearRejoins.
+func (c *Cluster) pendingRejoins() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for p, pending := range c.rejoinPending {
+		if pending {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (c *Cluster) clearRejoins() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for p := range c.rejoinPending {
+		delete(c.rejoinPending, p)
+	}
+}
+
+// Network returns the cluster's transport so co-located served parties
+// (PartySupervisor, tests) can attach their endpoints to it.
+func (c *Cluster) Network() transport.Network { return c.net }
+
 // Mode returns the configured adversary model.
 func (c *Cluster) Mode() Mode { return c.cfg.Mode }
 
@@ -380,7 +463,7 @@ func (c *Cluster) takeRevealed(session string, timeout time.Duration) (protocol.
 		}
 		if timedOut {
 			close(done)
-			return protocol.Mat{}, fmt.Errorf("core: reveal %q timed out", session)
+			return protocol.Mat{}, fmt.Errorf("core: reveal %q: %w", session, errRevealTimeout)
 		}
 		c.revealCond.Wait()
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the test binary runs under the race
+// detector; timing-sensitive chaos schedules scale their timers or
+// skip accordingly.
+const raceEnabled = true

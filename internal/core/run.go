@@ -1,13 +1,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"github.com/trustddl/trustddl/internal/mnist"
 	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/party"
 	"github.com/trustddl/trustddl/internal/protocol"
 	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/suspicion"
 	"github.com/trustddl/trustddl/internal/tensor"
 	"github.com/trustddl/trustddl/internal/transport"
 )
@@ -32,6 +35,19 @@ func (c *Cluster) NewRun(w nn.PaperWeights) (*Run, error) {
 // width must match the workload images and the output width the label
 // arity.
 func (c *Cluster) NewRunArch(arch nn.Arch, weights []nn.Mat64) (*Run, error) {
+	return c.provision(arch, weights, nil, 0)
+}
+
+// provision distributes (or re-distributes, after a fault) a model to
+// all computing parties: the public architecture spec, fresh weight
+// shares, and — when resuming a checkpointed session — the optimizer
+// momentum coefficient and velocity shares, carried in the init session
+// label and extra v/<i> bundles. Re-provisioning mid-session discards
+// every party's in-flight state, which is exactly what restore-and-
+// replay recovery needs: after a partial batch failure the parties'
+// shares may be mutually inconsistent, and only a full re-deal from the
+// last checkpoint restores a coherent sharing.
+func (c *Cluster) provision(arch nn.Arch, weights, velocities []nn.Mat64, momentum float64) (*Run, error) {
 	outWidth, err := arch.Validate(mnist.NumPixels)
 	if err != nil {
 		return nil, err
@@ -42,7 +58,10 @@ func (c *Cluster) NewRunArch(arch nn.Arch, weights []nn.Mat64) (*Run, error) {
 	if len(weights) != arch.NumWeightMatrices() {
 		return nil, fmt.Errorf("core: %d weight matrices for %d parameterized layers", len(weights), arch.NumWeightMatrices())
 	}
-	session := c.nextSession("init")
+	if len(velocities) != 0 && len(velocities) != len(weights) {
+		return nil, fmt.Errorf("core: %d velocity matrices for %d weight matrices", len(velocities), len(weights))
+	}
+	session := sessionWithInitOpts(c.nextSession("init"), momentum, len(velocities) > 0)
 	// The architecture is public: broadcast the spec itself.
 	archPayload := nn.EncodeArch(arch)
 	for p := 1; p <= sharing.NumParties; p++ {
@@ -60,29 +79,28 @@ func (c *Cluster) NewRunArch(arch nn.Arch, weights []nn.Mat64) (*Run, error) {
 			return nil, fmt.Errorf("core: distribute weights %d: %w", wi, err)
 		}
 	}
+	for vi, m := range velocities {
+		bundles, err := c.modelDlr.ShareFloats(m)
+		if err != nil {
+			return nil, fmt.Errorf("core: share velocity %d: %w", vi, err)
+		}
+		if err := protocol.DistributeBundles(c.ownerEP, session, fmt.Sprintf("v/%d", vi), bundles); err != nil {
+			return nil, fmt.Errorf("core: distribute velocity %d: %w", vi, err)
+		}
+	}
 
 	run := &Run{c: c, arch: arch}
 	err = c.runParties(func(i int) error {
 		ctx := c.ctxs[i]
 		// Parties consume the broadcast spec (and could cross-check it
-		// against an out-of-band agreement).
+		// against an out-of-band agreement). The assembly is the same
+		// routine a served party runs, so local and remote deployments
+		// cannot drift.
 		msg, err := ctx.Router.Expect(transport.ModelOwner, session, "arch")
 		if err != nil {
 			return err
 		}
-		gotArch, err := nn.DecodeArch(msg.Payload)
-		if err != nil {
-			return err
-		}
-		bundles := make([]sharing.Bundle, gotArch.NumWeightMatrices())
-		for wi := range bundles {
-			b, err := protocol.RecvBundle(ctx, transport.ModelOwner, session, fmt.Sprintf("w/%d", wi))
-			if err != nil {
-				return err
-			}
-			bundles[wi] = b
-		}
-		net, err := gotArch.BuildSecure(bundles, transport.ModelOwner)
+		_, net, err := recvNetwork(ctx, msg)
 		if err != nil {
 			return err
 		}
@@ -181,9 +199,22 @@ func (r *Run) TrainBatch(images []mnist.Image, lr float64) error {
 		return err
 	}
 	if r.c.cfg.RemoteParties {
-		// Served parties acknowledge step completion.
-		_, err := r.c.dataRouter.Gather([]int{1, 2, 3}, session, "ack")
-		return err
+		// Served parties acknowledge step completion. One silent party
+		// is survivable — the two live parties carried the step to
+		// completion without it (guaranteed output delivery), so the
+		// session keeps training while the third crashes and rejoins.
+		msgs, gerr := r.c.patientGather([]int{1, 2, 3}, session, "ack")
+		if gerr != nil {
+			if !isGatherTimeout(gerr) || len(msgs) < sharing.NumParties-1 {
+				return gerr
+			}
+			for p := 1; p <= sharing.NumParties; p++ {
+				if _, ok := msgs[p]; !ok {
+					r.c.ledger.Record(p, suspicion.KindMissingDelivery, session, "ack")
+				}
+			}
+		}
+		return nil
 	}
 	return r.c.runParties(func(i int) error {
 		ctx := r.c.ctxs[i]
@@ -244,7 +275,14 @@ func (r *Run) logitsFor(images []mnist.Image) (protocol.Mat, error) {
 // parties that fail to deliver.
 func (c *Cluster) decideAtDataOwner(session, step string) (protocol.Mat, error) {
 	parties := []int{1, 2, 3}
-	msgs, gerr := c.dataRouter.Gather(parties, session, step)
+	msgs, gerr := c.patientGather(parties, session, step)
+	if gerr != nil && !isGatherTimeout(gerr) {
+		// A non-timeout gather failure (closed transport, forged frame
+		// the transport rejected) is a real fault even when enough
+		// parties delivered: the decision rule only papers over missing
+		// messages, not a broken channel.
+		return protocol.Mat{}, fmt.Errorf("core: gather %q: %w", step, gerr)
+	}
 	var per [sharing.NumParties]sharing.Bundle
 	var missing []int
 	var shape sharing.Bundle
@@ -285,18 +323,101 @@ func (c *Cluster) decideAtDataOwner(session, step string) (protocol.Mat, error) 
 	}
 	value, _, err := rec.Decide()
 	if err == nil {
-		if suspect := rec.Suspect(value, dataOwnerSuspicionTolerance); suspect != 0 {
-			c.mu.Lock()
+		suspect := rec.Suspect(value, c.dataTolerance())
+		suspectMissing := false
+		c.mu.Lock()
+		if suspect != 0 {
 			c.dataSuspicions[suspect]++
-			c.mu.Unlock()
 		}
 		for _, p := range missing {
-			c.mu.Lock()
 			c.dataSuspicions[p]++
-			c.mu.Unlock()
+			if p == suspect {
+				suspectMissing = true
+			}
+		}
+		c.mu.Unlock()
+		for _, p := range missing {
+			c.ledger.Record(p, suspicion.KindMissingDelivery, session, step)
+		}
+		// A missing party's zero-filled placeholder trivially deviates;
+		// only a present-but-deviating party earns attributable evidence.
+		if suspect != 0 && !suspectMissing {
+			c.ledger.Record(suspect, suspicion.KindDecisionDeviation, session, step)
 		}
 	}
 	return value, err
+}
+
+// isGatherTimeout reports whether a Gather error only says some peers'
+// messages never arrived (survivable: the decision rule zero-fills
+// them), as opposed to a transport-level failure.
+func isGatherTimeout(err error) bool {
+	var te *party.TimeoutError
+	return errors.As(err, &te) || errors.Is(err, transport.ErrTimeout)
+}
+
+// patientGather collects one message per party at the data owner,
+// re-polling past the router's per-message timer until every party
+// delivered or the patience window closes. During a crash window an
+// honest party legitimately spends a full receive timer flagging the
+// dead peer (and another waiting out the owner's gather expiry) before
+// it can respond, so a single router timer at the data owner would
+// misread the two live parties as silent too. Late arrivals land in the
+// router's pending queue, where the re-poll picks them up. A nil error
+// means everyone delivered; a timeout error with a partial map leaves
+// the missing parties to the caller's decision rule.
+func (c *Cluster) patientGather(parties []int, session, step string) (map[int]transport.Message, error) {
+	deadline := time.Now().Add(c.gatherPatience())
+	msgs := make(map[int]transport.Message, len(parties))
+	var firstErr error
+	for {
+		var missing []int
+		for _, p := range parties {
+			if _, ok := msgs[p]; !ok {
+				missing = append(missing, p)
+			}
+		}
+		if len(missing) == 0 {
+			return msgs, nil
+		}
+		got, gerr := c.dataRouter.Gather(missing, session, step)
+		for p, m := range got {
+			msgs[p] = m
+		}
+		if gerr != nil && !isGatherTimeout(gerr) {
+			return msgs, gerr
+		}
+		if gerr != nil && firstErr == nil {
+			firstErr = gerr
+		}
+		if len(msgs) == len(parties) {
+			return msgs, nil
+		}
+		if !time.Now().Before(deadline) {
+			return msgs, firstErr
+		}
+	}
+}
+
+// gatherPatience bounds how long the data owner waits out a silent
+// party: the live parties need one receive timer to flag the dead peer,
+// up to one more for the model owner's gather expiry on a delegated
+// step, plus compute slack.
+func (c *Cluster) gatherPatience() time.Duration {
+	t := c.cfg.Timeout
+	if t <= 0 {
+		t = party.DefaultTimeout
+	}
+	return 3*t + time.Second
+}
+
+// dataTolerance resolves the data owner's reveal tolerance: the
+// configured cluster-wide override, or the logits default.
+func (c *Cluster) dataTolerance() float64 {
+	if c.cfg.SuspicionTolerance > 0 {
+		return c.cfg.SuspicionTolerance
+	}
+	return dataOwnerSuspicionTolerance
 }
 
 // dataOwnerSuspicionTolerance is the max raw-ring deviation an honest
@@ -364,43 +485,68 @@ func argmaxRow(m protocol.Mat, row int) int {
 // owner and returns them as plaintext matrices, one per parameterized
 // layer (the paper's training output).
 func (r *Run) WeightMatrices() ([]nn.Mat64, error) {
+	weights, _, err := r.CaptureCheckpoint(false)
+	return weights, err
+}
+
+// CaptureCheckpoint reveals the current model to the model owner
+// through the six-way decision rule: the weight matrices and — when
+// withState — the optimizer velocity matrices alongside them. Because
+// the owner's gather zero-fills and flags a silent party, a checkpoint
+// can be captured even while one party is crashed or Byzantine; the
+// decided plaintext then re-seeds all three parties on restore.
+func (r *Run) CaptureCheckpoint(withState bool) (weights, velocities []nn.Mat64, err error) {
 	session := r.c.nextSession("reveal")
 	if r.c.cfg.RemoteParties {
+		step := stepRevealWeights
+		if withState {
+			step = stepRevealCkpt
+		}
 		for p := 1; p <= sharing.NumParties; p++ {
-			if err := r.c.dataRouter.Send(p, session, stepRevealWeights, nil); err != nil {
-				return nil, err
+			if err := r.c.dataRouter.Send(p, session, step, nil); err != nil {
+				return nil, nil, err
 			}
 		}
 	}
-	err := r.c.runParties(func(i int) error {
+	err = r.c.runParties(func(i int) error {
 		ctx := r.c.ctxs[i]
-		bundles, err := r.arch.WeightBundles(r.nets[i])
-		if err != nil {
+		if err := sinkWeights(ctx, r.arch, r.nets[i], session); err != nil {
 			return err
 		}
-		for wi, b := range bundles {
-			if err := protocol.SendToSink(ctx, transport.ModelOwner, "weights", fmt.Sprintf("%s/w%d", session, wi), b); err != nil {
-				return err
-			}
+		if withState {
+			return sinkState(ctx, r.arch, r.nets[i], session)
 		}
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	// A crashed party's reveal only resolves once the owner's gather
+	// timeout zero-fills it; wait comfortably past that point.
 	timeout := r.c.cfg.Timeout
 	if timeout <= 0 {
-		timeout = 10 * time.Second
+		timeout = 5 * time.Second
 	}
-	out := make([]nn.Mat64, r.arch.NumWeightMatrices())
-	for wi := range out {
+	timeout = 2*timeout + time.Second
+	weights = make([]nn.Mat64, r.arch.NumWeightMatrices())
+	for wi := range weights {
 		m, err := r.c.takeRevealed(fmt.Sprintf("%s/w%d", session, wi), timeout)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		out[wi] = r.decodeFloats(m)
+		weights[wi] = r.decodeFloats(m)
 	}
-	return out, nil
+	if withState {
+		velocities = make([]nn.Mat64, r.arch.NumWeightMatrices())
+		for vi := range velocities {
+			m, err := r.c.takeRevealed(fmt.Sprintf("%s/v%d", session, vi), timeout)
+			if err != nil {
+				return nil, nil, err
+			}
+			velocities[vi] = r.decodeFloats(m)
+		}
+	}
+	return weights, velocities, nil
 }
 
 // Weights is the Table I convenience form of WeightMatrices.

@@ -21,6 +21,10 @@ const (
 	// stepRevealWeights asks a served party to sink its weight bundles
 	// to the model owner.
 	stepRevealWeights = "cmd/reveal-weights"
+	// stepRevealCkpt asks a served party to sink its weight AND
+	// optimizer-velocity bundles to the model owner, so the session
+	// driver can write a resumable checkpoint.
+	stepRevealCkpt = "cmd/reveal-ckpt"
 )
 
 // ServeParty runs one computing party as a message-driven server: it
@@ -57,6 +61,12 @@ type ServeOptions struct {
 	// takes effect when ts is the owner-backed source (a served party
 	// with a local precomputed pool has no round-trips to hide).
 	PrefetchDepth int
+	// Rejoin announces this party as a restarted member before serving:
+	// the model owner is told to re-provision it (architecture + weight
+	// shares from the latest checkpoint) so the session can continue
+	// with all three parties. Until the re-init arrives the party
+	// ignores traffic it has no state for instead of dying on it.
+	Rejoin bool
 }
 
 // ServePartyOpts is ServeParty with explicit options.
@@ -65,6 +75,11 @@ func ServePartyOpts(ctx *protocol.Ctx, ts nn.TripleSource, opts ServeOptions) er
 		net  *nn.SecureNetwork
 		arch nn.Arch
 	)
+	if opts.Rejoin {
+		if err := protocol.AnnounceRejoin(ctx); err != nil {
+			return fmt.Errorf("core: serve party %d announce rejoin: %w", ctx.Index, err)
+		}
+	}
 	for {
 		msg, err := ctx.Router.Next(0)
 		if err != nil {
@@ -100,7 +115,12 @@ func ServePartyOpts(ctx *protocol.Ctx, ts nn.TripleSource, opts ServeOptions) er
 				continue
 			}
 			if net == nil {
-				return fmt.Errorf("core: serve party %d: training before weight distribution", ctx.Index)
+				// A rejoining party sees in-flight traffic before its
+				// re-init arrives; dropping it leaves the others to
+				// finish the step two-strong (guaranteed output
+				// delivery) until the driver re-provisions everyone.
+				log.Printf("core: serve party %d: ignoring train %q before weight distribution", ctx.Index, msg.Session)
+				continue
 			}
 			if err := serveTrain(ctx, ts, net, msg, opts); err != nil {
 				if transientServeErr(err) {
@@ -114,7 +134,8 @@ func ServePartyOpts(ctx *protocol.Ctx, ts nn.TripleSource, opts ServeOptions) er
 				continue
 			}
 			if net == nil {
-				return fmt.Errorf("core: serve party %d: inference before weight distribution", ctx.Index)
+				log.Printf("core: serve party %d: ignoring infer %q before weight distribution", ctx.Index, msg.Session)
+				continue
 			}
 			if err := serveInfer(ctx, ts, net, msg, opts); err != nil {
 				if transientServeErr(err) {
@@ -123,15 +144,23 @@ func ServePartyOpts(ctx *protocol.Ctx, ts nn.TripleSource, opts ServeOptions) er
 				}
 				return fmt.Errorf("core: serve party %d infer %q: %w", ctx.Index, msg.Session, err)
 			}
-		case msg.Step == stepRevealWeights:
+		case msg.Step == stepRevealWeights || msg.Step == stepRevealCkpt:
 			if !fromOwner(msg.From) {
 				continue
 			}
 			if net == nil {
-				return fmt.Errorf("core: serve party %d: reveal before weight distribution", ctx.Index)
+				// The owner's gather zero-fills and flags this party; the
+				// reveal still decides from the two live parties' sets.
+				log.Printf("core: serve party %d: ignoring reveal %q before weight distribution", ctx.Index, msg.Session)
+				continue
 			}
 			if err := sinkWeights(ctx, arch, net, msg.Session); err != nil {
 				return fmt.Errorf("core: serve party %d reveal: %w", ctx.Index, err)
+			}
+			if msg.Step == stepRevealCkpt {
+				if err := sinkState(ctx, arch, net, msg.Session); err != nil {
+					return fmt.Errorf("core: serve party %d reveal state: %w", ctx.Index, err)
+				}
 			}
 		default:
 			// Unknown traffic for this state machine: ignore. Protocol
@@ -158,7 +187,10 @@ func transientServeErr(err error) bool {
 }
 
 // recvNetwork assembles the secure network from a weight-distribution
-// session whose architecture broadcast has already arrived.
+// session whose architecture broadcast has already arrived. The session
+// label may carry init options ("?mu=<micro>&st=1"): a momentum
+// coefficient to enable, and a flag announcing one velocity bundle per
+// weight matrix follows the weights (checkpoint restore).
 func recvNetwork(ctx *protocol.Ctx, first transport.Message) (nn.Arch, *nn.SecureNetwork, error) {
 	arch, err := nn.DecodeArch(first.Payload)
 	if err != nil {
@@ -175,6 +207,27 @@ func recvNetwork(ctx *protocol.Ctx, first transport.Message) (nn.Arch, *nn.Secur
 	net, err := arch.BuildSecure(bundles, transport.ModelOwner)
 	if err != nil {
 		return nil, nil, err
+	}
+	// A (re-)provisioning starts a fresh membership epoch: drop local
+	// timeout convictions so a re-admitted crashed peer participates
+	// again. The session ledger keeps the history.
+	ctx.ForgiveFlags()
+	mu, withState := decodeInitOpts(first.Session)
+	if withState {
+		vels := make([]sharing.Bundle, arch.NumWeightMatrices())
+		for vi := range vels {
+			b, err := protocol.RecvBundle(ctx, transport.ModelOwner, first.Session, fmt.Sprintf("v/%d", vi))
+			if err != nil {
+				return nil, nil, err
+			}
+			vels[vi] = b
+		}
+		if err := arch.SetStateBundles(net, vels); err != nil {
+			return nil, nil, err
+		}
+	}
+	if mu > 0 {
+		net.SetMomentum(mu)
 	}
 	return arch, net, nil
 }
@@ -248,10 +301,56 @@ func sinkWeights(ctx *protocol.Ctx, arch nn.Arch, net *nn.SecureNetwork, session
 	return nil
 }
 
+// sinkState reveals the optimizer velocity bundles alongside a weight
+// reveal (zero-shaped matrices when momentum never ran).
+func sinkState(ctx *protocol.Ctx, arch nn.Arch, net *nn.SecureNetwork, session string) error {
+	bundles, err := arch.StateBundles(net)
+	if err != nil {
+		return err
+	}
+	for vi, b := range bundles {
+		if err := protocol.SendToSink(ctx, transport.ModelOwner, "weights", fmt.Sprintf("%s/v%d", session, vi), b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // The learning rate travels inside the training session label so a
 // served party needs no side channel: "train/<n>?lr=<millis>".
 func sessionWithLR(session string, lr float64) string {
 	return fmt.Sprintf("%s?lr=%d", session, int64(lr*1e6))
+}
+
+// Init options travel inside the init session label the same way the
+// learning rate travels in training sessions: "init/<n>?mu=<micro>&st=<0|1>"
+// carries the momentum coefficient (micro-units) and whether velocity
+// bundles follow the weight bundles. A plain init omits the suffix.
+func sessionWithInitOpts(session string, mu float64, withState bool) string {
+	if mu <= 0 && !withState {
+		return session
+	}
+	st := 0
+	if withState {
+		st = 1
+	}
+	return fmt.Sprintf("%s?mu=%d&st=%d", session, int64(mu*1e6), st)
+}
+
+func decodeInitOpts(session string) (mu float64, withState bool) {
+	idx := strings.LastIndex(session, "?mu=")
+	if idx < 0 {
+		return 0, false
+	}
+	var micro int64
+	var st int
+	if _, err := fmt.Sscanf(session[idx:], "?mu=%d&st=%d", &micro, &st); err != nil {
+		return 0, false
+	}
+	if micro < 0 {
+		micro = 0
+	}
+	return float64(micro) / 1e6, st == 1
 }
 
 func decodeLR(session string) (float64, error) {

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/party"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// ErrSessionStopped is returned (wrapped) by TrainSession when an
+// OnBatch hook asks the session to stop: progress up to the stop point
+// has been checkpointed, and the session can be continued later with
+// ResumeTrain.
+var ErrSessionStopped = errors.New("core: session stopped")
+
+// errRevealTimeout marks a weight reveal that never resolved at the
+// model owner — transient by nature (the sink either arrives late or
+// the gather zero-fills the silent party on the next attempt).
+var errRevealTimeout = errors.New("reveal timed out")
+
+// SessionConfig extends TrainConfig with the fault-tolerance policy of
+// a training session: where checkpoints go, how often they are taken,
+// and how batch failures are retried.
+type SessionConfig struct {
+	TrainConfig
+	// CheckpointDir, when non-empty, receives an atomically replaced
+	// snapshot (CheckpointPath) at every checkpoint; empty keeps
+	// checkpoints in memory only (recovery still works within the
+	// process, but a driver crash loses the session).
+	CheckpointDir string
+	// CheckpointEvery takes a mid-epoch checkpoint after that many
+	// batches (0 = end-of-epoch checkpoints only). Smaller values bound
+	// the replay window after a fault at the cost of one weight reveal
+	// per checkpoint.
+	CheckpointEvery int
+	// MaxRetries bounds consecutive restore-and-replay recoveries
+	// without forward progress before the session gives up (0 selects
+	// 3; negative disables retries).
+	MaxRetries int
+	// RetryBackoff is the pause before each recovery attempt (0 selects
+	// 250ms), giving a restarting party time to come back.
+	RetryBackoff time.Duration
+	// OnFault, when non-nil, observes every fault the session absorbs
+	// (and the final one it doesn't), before the recovery decision.
+	OnFault func(epoch, at int, err error)
+	// OnBatch, when non-nil, runs before each batch; returning an error
+	// checkpoints the session and stops it cleanly with
+	// ErrSessionStopped (SIGINT handling, test interruption).
+	OnBatch func(epoch, at int) error
+}
+
+func (sc *SessionConfig) withDefaults() SessionConfig {
+	out := *sc
+	if out.MaxRetries == 0 {
+		out.MaxRetries = 3
+	}
+	if out.MaxRetries < 0 {
+		out.MaxRetries = 0
+	}
+	if out.RetryBackoff == 0 {
+		out.RetryBackoff = 250 * time.Millisecond
+	}
+	return out
+}
+
+// TransientTrainErr classifies a training-step failure as survivable
+// (stalled or crashed peer, expired timers, late reveals — retry from
+// the last checkpoint is sound) versus fatal (closed transport,
+// protocol state errors — the deployment itself is broken).
+func TransientTrainErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, transport.ErrClosed) {
+		return false
+	}
+	var te *party.TimeoutError
+	if errors.As(err, &te) {
+		return true
+	}
+	if errors.Is(err, transport.ErrTimeout) || errors.Is(err, errRevealTimeout) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// TrainSession is Train with fault tolerance: periodic checkpoints of
+// the revealed model plus training cursor, restore-and-replay recovery
+// from transient faults, and re-provisioning of parties that announce a
+// rejoin after a crash. The Table I convenience form of
+// TrainSessionArch.
+func (c *Cluster) TrainSession(w nn.PaperWeights, train, test mnist.Dataset, sc SessionConfig) ([]EpochResult, *Run, error) {
+	return c.TrainSessionArch(nn.PaperArch(), []nn.Mat64{w.Conv, w.FC1, w.FC2}, train, test, sc)
+}
+
+// TrainSessionArch runs a fault-tolerant training session over an
+// arbitrary architecture from freshly initialized weights.
+func (c *Cluster) TrainSessionArch(arch nn.Arch, weights []nn.Mat64, train, test mnist.Dataset, sc SessionConfig) ([]EpochResult, *Run, error) {
+	state := &Checkpoint{Arch: arch, Epoch: 1, Batch: 0, Momentum: sc.Momentum, Weights: weights}
+	return c.resumeSession(state, train, test, sc)
+}
+
+// ResumeTrain continues a session from a checkpoint (LoadCheckpoint):
+// parties are re-provisioned with the snapshot's weights and optimizer
+// state and training picks up at the stored cursor. Because restore
+// re-randomizes the share representation, the continued run matches the
+// uninterrupted one within fixed-point truncation tolerance rather than
+// bit-exactly. A zero sc.Momentum adopts the checkpoint's coefficient.
+func (c *Cluster) ResumeTrain(ck *Checkpoint, train, test mnist.Dataset, sc SessionConfig) ([]EpochResult, *Run, error) {
+	if ck == nil {
+		return nil, nil, fmt.Errorf("core: resume from nil checkpoint")
+	}
+	if sc.Momentum == 0 {
+		sc.Momentum = ck.Momentum
+	}
+	state := *ck
+	state.Momentum = sc.Momentum
+	return c.resumeSession(&state, train, test, sc)
+}
+
+// resumeSession is the session driver: a cursor walk over
+// (epoch, batch) that re-roots itself at the last good checkpoint
+// whenever a transient fault or a party rejoin interrupts it.
+func (c *Cluster) resumeSession(state *Checkpoint, train, test mnist.Dataset, sc SessionConfig) ([]EpochResult, *Run, error) {
+	if sc.Epochs <= 0 || sc.Batch <= 0 || sc.LR <= 0 {
+		return nil, nil, fmt.Errorf("core: invalid session config %+v", sc.TrainConfig)
+	}
+	if state.Epoch > sc.Epochs {
+		return nil, nil, fmt.Errorf("core: checkpoint cursor at epoch %d but session has %d epochs", state.Epoch, sc.Epochs)
+	}
+	sc = sc.withDefaults()
+
+	provision := func(ck *Checkpoint) (*Run, error) {
+		return c.provision(ck.Arch, ck.Weights, ck.Velocities, ck.Momentum)
+	}
+	run, err := provision(state)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	results := append([]EpochResult(nil), state.Results...)
+	epoch, at := state.Epoch, state.Batch
+	retries := 0
+	sinceCkpt := 0
+
+	// snapshot reveals the live model and replaces the session's
+	// recovery root (and the on-disk checkpoint) with it.
+	snapshot := func() error {
+		weights, vels, err := run.CaptureCheckpoint(state.Momentum > 0)
+		if err != nil {
+			return err
+		}
+		ck := &Checkpoint{
+			Arch:       state.Arch,
+			Epoch:      epoch,
+			Batch:      at,
+			Momentum:   state.Momentum,
+			Results:    append([]EpochResult(nil), results...),
+			Weights:    weights,
+			Velocities: vels,
+		}
+		if sc.CheckpointDir != "" {
+			if err := SaveCheckpoint(CheckpointPath(sc.CheckpointDir), ck); err != nil {
+				return err
+			}
+		}
+		state = ck
+		retries = 0
+		sinceCkpt = 0
+		return nil
+	}
+
+	// absorb decides a fault's fate: transient faults within the retry
+	// budget re-provision every party from the recovery root and rewind
+	// the cursor (restore-and-replay — a partially applied batch leaves
+	// the parties' shares mutually inconsistent, so per-batch retry
+	// without restore would be unsound); anything else aborts.
+	absorb := func(err error) error {
+		if sc.OnFault != nil {
+			sc.OnFault(epoch, at, err)
+		}
+		if !TransientTrainErr(err) || retries >= sc.MaxRetries {
+			return fmt.Errorf("core: epoch %d batch at %d: %w", epoch, at, err)
+		}
+		retries++
+		time.Sleep(sc.RetryBackoff)
+		newRun, perr := provision(state)
+		if perr != nil {
+			return fmt.Errorf("core: epoch %d batch at %d: %w (re-provision failed: %v)", epoch, at, err, perr)
+		}
+		run = newRun
+		c.clearRejoins()
+		epoch, at = state.Epoch, state.Batch
+		results = append([]EpochResult(nil), state.Results...)
+		sinceCkpt = 0
+		return nil
+	}
+
+	for epoch <= sc.Epochs {
+		for at < train.Len() {
+			if sc.OnBatch != nil {
+				if herr := sc.OnBatch(epoch, at); herr != nil {
+					if serr := snapshot(); serr != nil {
+						return results, run, fmt.Errorf("%w at epoch %d batch %d (checkpoint failed: %v)", ErrSessionStopped, epoch, at, serr)
+					}
+					return results, run, fmt.Errorf("%w at epoch %d batch %d: %v", ErrSessionStopped, epoch, at, herr)
+				}
+			}
+			if len(c.pendingRejoins()) > 0 {
+				// A restarted party announced itself: capture the model
+				// from the live parties, then re-deal everyone fresh
+				// shares so the rejoiner is a full member again.
+				if err := snapshot(); err != nil {
+					if rerr := absorb(err); rerr != nil {
+						return results, run, rerr
+					}
+					continue
+				}
+				newRun, err := provision(state)
+				if err != nil {
+					if rerr := absorb(err); rerr != nil {
+						return results, run, rerr
+					}
+					continue
+				}
+				run = newRun
+				c.clearRejoins()
+			}
+			end := at + sc.Batch
+			if end > train.Len() {
+				end = train.Len()
+			}
+			if err := run.TrainBatch(train.Images[at:end], sc.LR); err != nil {
+				if rerr := absorb(err); rerr != nil {
+					return results, run, rerr
+				}
+				continue
+			}
+			at = end
+			sinceCkpt++
+			if sc.CheckpointEvery > 0 && sinceCkpt >= sc.CheckpointEvery {
+				if err := snapshot(); err != nil {
+					if rerr := absorb(err); rerr != nil {
+						return results, run, rerr
+					}
+					continue
+				}
+			}
+		}
+		acc, err := run.Evaluate(test, sc.EvalLimit, 32)
+		if err != nil {
+			if rerr := absorb(err); rerr != nil {
+				return results, run, rerr
+			}
+			continue
+		}
+		results = append(results, EpochResult{Epoch: epoch, Accuracy: acc})
+		if sc.OnEpoch != nil {
+			sc.OnEpoch(epoch, acc)
+		}
+		epoch++
+		at = 0
+		if err := snapshot(); err != nil {
+			if rerr := absorb(err); rerr != nil {
+				return results, run, rerr
+			}
+			continue
+		}
+	}
+	return results, run, nil
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/party"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+func testCheckpoint(t *testing.T) *Checkpoint {
+	t.Helper()
+	w := paperWeights(t)
+	weights := []nn.Mat64{w.Conv, w.FC1, w.FC2}
+	vels := make([]nn.Mat64, len(weights))
+	for i, m := range weights {
+		v := m.Clone()
+		for j := range v.Data {
+			v.Data[j] *= 0.25
+		}
+		vels[i] = v
+	}
+	return &Checkpoint{
+		Arch:     nn.PaperArch(),
+		Epoch:    3,
+		Batch:    40,
+		Momentum: 0.9,
+		Results: []EpochResult{
+			{Epoch: 1, Accuracy: 0.52},
+			{Epoch: 2, Accuracy: 0.71},
+		},
+		Weights:    weights,
+		Velocities: vels,
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	want := testCheckpoint(t)
+	path := CheckpointPath(t.TempDir())
+	if err := SaveCheckpoint(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != want.Epoch || got.Batch != want.Batch || got.Momentum != want.Momentum {
+		t.Fatalf("cursor (%d,%d,%v), want (%d,%d,%v)",
+			got.Epoch, got.Batch, got.Momentum, want.Epoch, want.Batch, want.Momentum)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("%d results, want %d", len(got.Results), len(want.Results))
+	}
+	for i, r := range want.Results {
+		if got.Results[i] != r {
+			t.Fatalf("result %d = %+v, want %+v", i, got.Results[i], r)
+		}
+	}
+	if string(nn.EncodeArch(got.Arch)) != string(nn.EncodeArch(want.Arch)) {
+		t.Fatal("architecture did not round-trip")
+	}
+	for i := range want.Weights {
+		if d, err := got.Weights[i].MaxAbsDiff(want.Weights[i]); err != nil || d != 0 {
+			t.Fatalf("weight matrix %d differs by %v (%v)", i, d, err)
+		}
+	}
+	if len(got.Velocities) != len(want.Velocities) {
+		t.Fatalf("%d velocity matrices, want %d", len(got.Velocities), len(want.Velocities))
+	}
+	for i := range want.Velocities {
+		if d, err := got.Velocities[i].MaxAbsDiff(want.Velocities[i]); err != nil || d != 0 {
+			t.Fatalf("velocity matrix %d differs by %v (%v)", i, d, err)
+		}
+	}
+}
+
+func TestCheckpointPlainSGDOmitsVelocities(t *testing.T) {
+	ck := testCheckpoint(t)
+	ck.Momentum = 0
+	ck.Velocities = nil
+	path := CheckpointPath(t.TempDir())
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Velocities) != 0 {
+		t.Fatalf("plain-SGD checkpoint loaded %d velocity matrices", len(got.Velocities))
+	}
+}
+
+func TestSaveCheckpointRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	ck := testCheckpoint(t)
+	ck.Weights = ck.Weights[:1]
+	if err := SaveCheckpoint(CheckpointPath(dir), ck); err == nil {
+		t.Fatal("checkpoint with missing weight matrices accepted")
+	}
+	ck = testCheckpoint(t)
+	ck.Epoch = 0
+	if err := SaveCheckpoint(CheckpointPath(dir), ck); err == nil {
+		t.Fatal("checkpoint with zero epoch cursor accepted")
+	}
+	if entries, err := os.ReadDir(dir); err != nil || len(entries) != 0 {
+		t.Fatalf("failed saves left files behind: %v (%v)", entries, err)
+	}
+}
+
+func TestLoadCheckpointRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := CheckpointPath(dir)
+	if err := SaveCheckpoint(path, testCheckpoint(t)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truncated := filepath.Join(dir, "truncated")
+	if err := os.WriteFile(truncated, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(truncated); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+
+	badMagic := filepath.Join(dir, "badmagic")
+	mangled := append([]byte(nil), data...)
+	mangled[0] ^= 0xff
+	if err := os.WriteFile(badMagic, mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(badMagic); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+
+	if _, err := LoadCheckpoint(filepath.Join(dir, "absent")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestTransientTrainErr(t *testing.T) {
+	tests := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{name: "nil", err: nil, want: false},
+		{name: "plain", err: errors.New("boom"), want: false},
+		{name: "timeout", err: &party.TimeoutError{From: 2}, want: true},
+		{name: "wrapped timeout", err: fmt.Errorf("core: batch: %w", &party.TimeoutError{From: 1}), want: true},
+		{name: "transport timeout", err: fmt.Errorf("send: %w", transport.ErrTimeout), want: true},
+		{name: "reveal timeout", err: fmt.Errorf("core: reveal: %w", errRevealTimeout), want: true},
+		{name: "closed", err: fmt.Errorf("send: %w", transport.ErrClosed), want: false},
+	}
+	for _, tt := range tests {
+		if got := TransientTrainErr(tt.err); got != tt.want {
+			t.Errorf("TransientTrainErr(%s) = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestResumeTrainValidates(t *testing.T) {
+	c := newTestCluster(t, Config{Mode: Malicious, Triples: OfflinePrecomputed})
+	train, test, _ := mnist.Load(t.TempDir(), 4, 2, 7)
+	sc := SessionConfig{TrainConfig: TrainConfig{Epochs: 1, Batch: 2, LR: 0.1}}
+	if _, _, err := c.ResumeTrain(nil, train, test, sc); err == nil {
+		t.Fatal("nil checkpoint accepted")
+	}
+	ck := testCheckpoint(t)
+	ck.Epoch = 5 // beyond the 1-epoch session
+	if _, _, err := c.ResumeTrain(ck, train, test, sc); err == nil {
+		t.Fatal("cursor beyond the session's epochs accepted")
+	}
+	if _, _, err := c.TrainSession(paperWeights(t), train, test, SessionConfig{}); err == nil {
+		t.Fatal("zero session config accepted")
+	}
+}
+
+// TestSessionStopAndResume is the kill-mid-epoch acceptance scenario:
+// a session stopped by its OnBatch hook (the SIGINT path of
+// cmd/trustddl-train) persists a checkpoint, and a fresh cluster
+// resumes from disk to the same model as an uninterrupted baseline.
+func TestSessionStopAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-epoch secure training in -short mode")
+	}
+	const (
+		seed   = 131
+		epochs = 2
+		batch  = 2
+		lr     = 0.1
+	)
+	train, test, _ := mnist.Load(t.TempDir(), 8, 6, seed)
+	sc := SessionConfig{TrainConfig: TrainConfig{
+		Epochs: epochs, Batch: batch, LR: lr, EvalLimit: 6,
+	}}
+
+	// Uninterrupted baseline.
+	baseline := newTestCluster(t, Config{Mode: Malicious, Triples: OfflinePrecomputed, Seed: seed})
+	baseResults, baseRun, err := baseline.TrainSession(paperWeights(t), train, test, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseWeights, err := baseRun.WeightMatrices()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted session: stop mid-epoch 1, after two batches.
+	dir := t.TempDir()
+	stopped := newTestCluster(t, Config{Mode: Malicious, Triples: OfflinePrecomputed, Seed: seed})
+	scStop := sc
+	scStop.CheckpointDir = dir
+	scStop.OnBatch = func(epoch, at int) error {
+		if epoch == 1 && at == 2*batch {
+			return fmt.Errorf("test interrupt")
+		}
+		return nil
+	}
+	_, _, err = stopped.TrainSession(paperWeights(t), train, test, scStop)
+	if !errors.Is(err, ErrSessionStopped) {
+		t.Fatalf("interrupted session returned %v, want ErrSessionStopped", err)
+	}
+
+	ck, err := LoadCheckpoint(CheckpointPath(dir))
+	if err != nil {
+		t.Fatalf("no checkpoint after clean stop: %v", err)
+	}
+	if ck.Epoch != 1 || ck.Batch != 2*batch {
+		t.Fatalf("checkpoint cursor (%d,%d), want (1,%d)", ck.Epoch, ck.Batch, 2*batch)
+	}
+
+	// Resume on a fresh cluster, as a restarted driver process would.
+	resumed := newTestCluster(t, Config{Mode: Malicious, Triples: OfflinePrecomputed, Seed: seed})
+	scResume := sc
+	scResume.CheckpointDir = dir
+	results, run, err := resumed.ResumeTrain(ck, train, test, scResume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != epochs {
+		t.Fatalf("resumed session reported %d epochs, want %d", len(results), epochs)
+	}
+
+	// Restore re-randomizes the share representation, so the continued
+	// run matches the baseline within fixed-point truncation tolerance,
+	// not exactly.
+	weights, err := run.WeightMatrices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range baseWeights {
+		d, err := weights[i].MaxAbsDiff(baseWeights[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 5e-3 {
+			t.Fatalf("weight matrix %d deviates by %v after stop-and-resume", i, d)
+		}
+	}
+	if da := results[epochs-1].Accuracy - baseResults[epochs-1].Accuracy; da > 0.2 || da < -0.2 {
+		t.Fatalf("final accuracy %.2f after resume, baseline %.2f",
+			results[epochs-1].Accuracy, baseResults[epochs-1].Accuracy)
+	}
+}
+
+// TestSessionMidEpochCheckpointCadence verifies CheckpointEvery writes
+// snapshots during an epoch, not just at its end.
+func TestSessionMidEpochCheckpointCadence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("secure training in -short mode")
+	}
+	dir := t.TempDir()
+	c := newTestCluster(t, Config{Mode: Malicious, Triples: OfflinePrecomputed, Seed: 137})
+	train, test, _ := mnist.Load(t.TempDir(), 6, 4, 137)
+	var cursors []int
+	sc := SessionConfig{
+		TrainConfig:     TrainConfig{Epochs: 1, Batch: 2, LR: 0.1, EvalLimit: 4},
+		CheckpointDir:   dir,
+		CheckpointEvery: 1,
+		OnBatch: func(_, at int) error {
+			cursors = append(cursors, at)
+			return nil
+		},
+	}
+	if _, _, err := c.TrainSession(paperWeights(t), train, test, sc); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpoint(CheckpointPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final snapshot is the end-of-epoch one: cursor rolled over.
+	if ck.Epoch != 2 || ck.Batch != 0 {
+		t.Fatalf("final checkpoint cursor (%d,%d), want (2,0)", ck.Epoch, ck.Batch)
+	}
+	if len(ck.Results) != 1 {
+		t.Fatalf("final checkpoint carries %d epoch results, want 1", len(ck.Results))
+	}
+	if want := []int{0, 2, 4}; len(cursors) != len(want) {
+		t.Fatalf("session visited batch offsets %v, want %v", cursors, want)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/trustddl/trustddl/internal/byzantine"
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/protocol"
+	"github.com/trustddl/trustddl/internal/suspicion"
+)
+
+// trainEpochUnder runs a full Train epoch (secure SGD plus the
+// end-of-epoch evaluation) on a Malicious-mode cluster with the given
+// adversaries, returning the epoch results, the final weight matrices
+// and the cluster for ledger inspection.
+func trainEpochUnder(t *testing.T, adversaries map[int]protocol.Adversary) ([]EpochResult, []nn.Mat64, *Cluster) {
+	t.Helper()
+	const (
+		seed   = 171
+		trainN = 12
+		testN  = 6
+	)
+	c := newTestCluster(t, Config{
+		Mode:        Malicious,
+		Triples:     OfflinePrecomputed,
+		Seed:        seed,
+		Adversaries: adversaries,
+	})
+	train, test, _ := mnist.Load(t.TempDir(), trainN, testN, seed)
+	results, run, err := c.Train(paperWeights(t), train, test, TrainConfig{
+		Epochs: 1, Batch: 3, LR: 0.1, EvalLimit: testN,
+	})
+	if err != nil {
+		t.Fatalf("train epoch: %v", err)
+	}
+	weights, err := run.WeightMatrices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, weights, c
+}
+
+// testTrainEpochUnderAdversary pins the full robustness claim for one
+// adversary class: a whole training epoch with party 2 Byzantine must
+// recover the honest model and accuracy, and the unified ledger must
+// convict exactly party 2, with evidence of the expected kind.
+//
+// honestClean additionally demands zero attributable evidence against
+// the honest parties. That holds for adversaries no party excludes
+// (a consistent liar is invisible to the commitment check, so all
+// honest views stay identical). It does NOT hold for an equivocator:
+// its victim excludes it unilaterally ("exclude the offending party
+// from further computations", §III-B), the victim's view of revealed
+// sign bits then diverges at fixed-point boundary elements, and the
+// other parties record decision-deviation fallout against the honest
+// victim. The ledger's proven-evidence tier exists precisely so that
+// fallout cannot convict the victim.
+func testTrainEpochUnderAdversary(t *testing.T, adv protocol.Adversary, kind suspicion.Kind, honestClean bool) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full secure training epoch in -short mode")
+	}
+	baseResults, baseWeights, _ := trainEpochUnder(t, nil)
+	results, weights, c := trainEpochUnder(t, map[int]protocol.Adversary{2: adv})
+
+	assertWeightsClose(t, weights, baseWeights, 1e-3, "attacked epoch vs honest epoch")
+	if len(results) != 1 || len(baseResults) != 1 {
+		t.Fatalf("epoch results: attacked %d, honest %d, want 1 each", len(results), len(baseResults))
+	}
+	if da := results[0].Accuracy - baseResults[0].Accuracy; da > 0.2 || da < -0.2 {
+		t.Errorf("recovered accuracy %.2f, honest %.2f", results[0].Accuracy, baseResults[0].Accuracy)
+	}
+
+	report := c.Suspicions()
+	if len(report.Convicted) != 1 || report.Convicted[0] != 2 {
+		t.Errorf("convicted %v, want [2]; report: %s", report.Convicted, report.String())
+	}
+	if att, _ := c.SuspicionLedger().Score(2); att == 0 {
+		t.Error("party 2 left no attributable evidence")
+	}
+	if honestClean {
+		for _, p := range []int{1, 3} {
+			if att, _ := c.SuspicionLedger().Score(p); att != 0 {
+				t.Errorf("honest party %d accumulated %d attributable evidence records; evidence: %+v", p, att, report.Evidence)
+			}
+		}
+	}
+	found := false
+	for _, ev := range report.Evidence {
+		if ev.Party == 2 && ev.Kind == kind {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no %q evidence against party 2; report: %s", kind, report.String())
+	}
+}
+
+func TestTrainEpochUnderConsistentLiar(t *testing.T) {
+	// Case 3: the liar commits to its corrupted shares, so only the
+	// decision rule can attribute the fault. The commitment check never
+	// flags it, so it stays in the computation and accumulates
+	// decision-deviation evidence past the conviction threshold, while
+	// every honest view stays identical and clean.
+	testTrainEpochUnderAdversary(t, byzantine.ConsistentLiar{}, suspicion.KindDecisionDeviation, true)
+}
+
+func TestTrainEpochUnderEquivocator(t *testing.T) {
+	// Cases 1–2: the equivocator opens values to party 1 that contradict
+	// its own commitment; the digest check pins the fault on it
+	// cryptographically, so one observation convicts (proven tier) even
+	// though the victim's subsequent exclusion of the offender caps the
+	// evidence count and sprays deviation fallout on the victim.
+	testTrainEpochUnderAdversary(t, byzantine.Equivocator{Target: 1}, suspicion.KindCommitViolation, false)
+}

@@ -290,6 +290,85 @@ func (a Arch) WeightBundles(net *SecureNetwork) ([]sharing.Bundle, error) {
 	return out, nil
 }
 
+// StateBundles extracts the optimizer state (momentum velocity) from a
+// secure network built from this architecture, one bundle per
+// parameterized layer in order. A layer whose velocity is still unset
+// (momentum off, or no update yet) yields an all-zero bundle of its
+// weight shape: restoring a zero velocity is arithmetically identical
+// to leaving it unset, so checkpoints carry a uniform shape.
+func (a Arch) StateBundles(net *SecureNetwork) ([]sharing.Bundle, error) {
+	if len(net.Layers) != len(a) {
+		return nil, fmt.Errorf("nn: network has %d layers, architecture %d", len(net.Layers), len(a))
+	}
+	velOrZero := func(vel, w sharing.Bundle) sharing.Bundle {
+		if vel.Primary.IsZeroShape() {
+			return zeroBundle(w.Rows(), w.Cols())
+		}
+		return vel
+	}
+	var out []sharing.Bundle
+	for i, s := range a {
+		switch s.Kind {
+		case KindDense:
+			l, ok := net.Layers[i].(*SecureDense)
+			if !ok {
+				return nil, fmt.Errorf("nn: layer %d is not dense", i)
+			}
+			out = append(out, velOrZero(l.vel, l.W))
+		case KindConv:
+			l, ok := net.Layers[i].(*SecureConv)
+			if !ok {
+				return nil, fmt.Errorf("nn: layer %d is not a convolution", i)
+			}
+			out = append(out, velOrZero(l.vel, l.W))
+		}
+	}
+	return out, nil
+}
+
+// SetStateBundles restores optimizer state captured by StateBundles
+// (one velocity bundle per parameterized layer, weight-shaped).
+func (a Arch) SetStateBundles(net *SecureNetwork, bundles []sharing.Bundle) error {
+	if len(net.Layers) != len(a) {
+		return fmt.Errorf("nn: network has %d layers, architecture %d", len(net.Layers), len(a))
+	}
+	if len(bundles) != a.NumWeightMatrices() {
+		return fmt.Errorf("nn: %d state bundles for %d parameterized layers", len(bundles), a.NumWeightMatrices())
+	}
+	wi := 0
+	for i, s := range a {
+		if !s.hasWeights() {
+			continue
+		}
+		b := bundles[wi]
+		wi++
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("nn: layer %d state: %w", i, err)
+		}
+		switch s.Kind {
+		case KindDense:
+			l, ok := net.Layers[i].(*SecureDense)
+			if !ok {
+				return fmt.Errorf("nn: layer %d is not dense", i)
+			}
+			if b.Rows() != l.W.Rows() || b.Cols() != l.W.Cols() {
+				return fmt.Errorf("nn: layer %d state %dx%d, want %dx%d", i, b.Rows(), b.Cols(), l.W.Rows(), l.W.Cols())
+			}
+			l.vel = b
+		case KindConv:
+			l, ok := net.Layers[i].(*SecureConv)
+			if !ok {
+				return fmt.Errorf("nn: layer %d is not a convolution", i)
+			}
+			if b.Rows() != l.W.Rows() || b.Cols() != l.W.Cols() {
+				return fmt.Errorf("nn: layer %d state %dx%d, want %dx%d", i, b.Rows(), b.Cols(), l.W.Rows(), l.W.Cols())
+			}
+			l.vel = b
+		}
+	}
+	return nil
+}
+
 // PaperArch is the Table I architecture as a spec.
 func PaperArch() Arch {
 	return Arch{

@@ -83,6 +83,12 @@ type Router struct {
 	timeout time.Duration
 	pending []transport.Message // buffered arrivals, oldest first
 	spoofs  []*SpoofError
+
+	// OnSpoof, when non-nil, observes each attribution fault as it is
+	// recorded (in addition to the Spoofs history). The cluster wires
+	// this to its suspicion ledger so spoofed frames become live
+	// evidence instead of history that must be polled.
+	OnSpoof func(*SpoofError)
 }
 
 // NewRouter wraps an endpoint. timeout <= 0 selects DefaultTimeout.
@@ -119,12 +125,16 @@ func (r *Router) Broadcast(tos []int, session, step string, payload []byte) erro
 // spoofed frame is recorded once.
 func (r *Router) note(msg transport.Message) {
 	if msg.Spoofed {
-		r.spoofs = append(r.spoofs, &SpoofError{
+		se := &SpoofError{
 			From:    msg.From,
 			Claimed: msg.ClaimedFrom,
 			Session: msg.Session,
 			Step:    msg.Step,
-		})
+		}
+		r.spoofs = append(r.spoofs, se)
+		if r.OnSpoof != nil {
+			r.OnSpoof(se)
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"github.com/trustddl/trustddl/internal/fixed"
 	"github.com/trustddl/trustddl/internal/party"
 	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/suspicion"
 	"github.com/trustddl/trustddl/internal/tensor"
 	"github.com/trustddl/trustddl/internal/transport"
 )
@@ -65,6 +66,28 @@ type Ctx struct {
 	// are excluded from all later reconstructions ("exclude the
 	// offending party from further computations", §III-B).
 	Flagged [sharing.NumParties + 1]bool
+	// Ledger, when non-nil, receives this party's detection evidence
+	// (commitment violations, open timeouts, decision-rule deviations)
+	// so a session-level supervisor can aggregate it across parties.
+	// Recording a repeat observation is cheap; a nil ledger disables it.
+	Ledger *suspicion.Ledger
+	// SuspicionTolerance bounds honest reconstruction disagreement (raw
+	// ring units) when scoring decision-rule deviations for the ledger
+	// (0 selects DefaultSuspicionTolerance).
+	SuspicionTolerance float64
+}
+
+// DefaultSuspicionTolerance matches the owner service's default: honest
+// reconstructions of un-truncated masked values agree exactly, so any
+// slack at all separates honest parties from share corruption.
+const DefaultSuspicionTolerance = 16
+
+// suspicionTolerance resolves the configured tolerance.
+func (ctx *Ctx) suspicionTolerance() float64 {
+	if ctx.SuspicionTolerance > 0 {
+		return ctx.SuspicionTolerance
+	}
+	return DefaultSuspicionTolerance
 }
 
 // NewCtx returns an honest party context.
@@ -84,6 +107,15 @@ func (ctx *Ctx) Peers() []int {
 		}
 	}
 	return peers
+}
+
+// ForgiveFlags clears this party's local convictions. A session driver
+// calls it (via re-provisioning) when the owners re-admit a restarted
+// party: the fresh share distribution starts a new membership epoch, so
+// stale timeout flags must not keep excluding a now-healthy peer. The
+// session-level suspicion ledger keeps the full history regardless.
+func (ctx *Ctx) ForgiveFlags() {
+	ctx.Flagged = [sharing.NumParties + 1]bool{}
 }
 
 // FlagCount reports how many parties this party has convicted.
@@ -128,6 +160,23 @@ func (ctx *Ctx) exchangeBundles(session, step string, bundles []sharing.Bundle) 
 		own = ctx.Adversary.CorruptPreCommit(session, step, cloneBundles(bundles))
 	}
 
+	// Messages still go to every peer — a peer this party flagged may be
+	// slow rather than dead, and withholding openings from it would turn
+	// one fault into two — but receive timers are spent only on peers not
+	// already convicted. Without this split a crashed party costs every
+	// survivor a full timer per commit AND open round of every secure
+	// multiplication, which stalls the session far beyond the data
+	// owner's patience.
+	live := make([]int, 0, len(peers))
+	for _, p := range peers {
+		if ctx.Flagged[p] {
+			res.flagged[p] = true
+			res.bundles[p] = zeroBundlesLike(own)
+			continue
+		}
+		live = append(live, p)
+	}
+
 	commitStep, openStep := step+"/commit", step+"/open"
 	var digests [sharing.NumParties + 1]commit.Digest
 	var haveDigest [sharing.NumParties + 1]bool
@@ -138,14 +187,15 @@ func (ctx *Ctx) exchangeBundles(session, step string, bundles []sharing.Bundle) 
 		if err := ctx.Router.Broadcast(peers, session, commitStep, d[:]); err != nil {
 			return res, fmt.Errorf("protocol: commit round: %w", err)
 		}
-		msgs, gerr := ctx.Router.Gather(peers, session, commitStep)
+		msgs, gerr := ctx.Router.Gather(live, session, commitStep)
 		if gerr != nil && !isTimeout(gerr) {
 			return res, gerr
 		}
-		for _, p := range peers {
+		for _, p := range live {
 			msg, ok := msgs[p]
 			if !ok || len(msg.Payload) != commit.Size {
 				res.flagged[p] = true
+				ctx.Ledger.Record(p, suspicion.KindOpenTimeout, session, commitStep)
 				continue
 			}
 			copy(digests[p][:], msg.Payload)
@@ -164,20 +214,34 @@ func (ctx *Ctx) exchangeBundles(session, step string, bundles []sharing.Bundle) 
 		}
 	}
 	res.bundles[ctx.Index] = own
-	msgs, gerr := ctx.Router.Gather(peers, session, openStep)
+	// A peer that already failed the commit round does not get a second
+	// timer in the open round.
+	open := make([]int, 0, len(live))
+	for _, p := range live {
+		if res.flagged[p] {
+			res.bundles[p] = zeroBundlesLike(own)
+			continue
+		}
+		open = append(open, p)
+	}
+	msgs, gerr := ctx.Router.Gather(open, session, openStep)
 	if gerr != nil && !isTimeout(gerr) {
 		return res, gerr
 	}
-	for _, p := range peers {
+	for _, p := range open {
 		msg, ok := msgs[p]
 		if !ok {
 			res.flagged[p] = true
+			ctx.Ledger.Record(p, suspicion.KindOpenTimeout, session, openStep)
 			res.bundles[p] = zeroBundlesLike(own)
 			continue
 		}
 		bs, err := transport.DecodeBundles(msg.Payload, len(own))
 		if err != nil || !shapesMatch(bs, own) {
+			// A delivered-but-malformed opening is the sender's doing,
+			// not the network's: only the opener shapes its payload.
 			res.flagged[p] = true
+			ctx.Ledger.Record(p, suspicion.KindCommitViolation, session, openStep)
 			res.bundles[p] = zeroBundlesLike(own)
 			continue
 		}
@@ -185,6 +249,12 @@ func (ctx *Ctx) exchangeBundles(session, step string, bundles []sharing.Bundle) 
 			// Recompute and verify the committed digest (line 12).
 			if !haveDigest[p] || !commit.Verify(digests[p], flattenBundles(bs)...) {
 				res.flagged[p] = true
+				if haveDigest[p] {
+					ctx.Ledger.Record(p, suspicion.KindCommitViolation, session, openStep)
+				} else {
+					// Digest never arrived: indistinguishable from a drop.
+					ctx.Ledger.Record(p, suspicion.KindOpenTimeout, session, openStep)
+				}
 			}
 		}
 		res.bundles[p] = bs
@@ -199,6 +269,25 @@ func (ctx *Ctx) exchangeBundles(session, step string, bundles []sharing.Bundle) 
 		}
 	}
 	return res, nil
+}
+
+// recordDeviations scores each reconstruction set against the decided
+// value and records a decision-rule deviation for a suspect party. A
+// consistent liar (Case 3) is invisible to the commitment check, so
+// this is the only site that produces attributable evidence against
+// it. Parties flagged this round are skipped: their zero-filled sets
+// trivially deviate, but the underlying fault (a timeout) was already
+// recorded as circumstantial evidence at its detection site.
+func (ctx *Ctx) recordDeviations(session, step string, res exchangeResult, recs []*sharing.Reconstructions, decided []Mat) {
+	if ctx.Ledger == nil {
+		return
+	}
+	tol := ctx.suspicionTolerance()
+	for i, rec := range recs {
+		if s := rec.Suspect(decided[i], tol); s >= 1 && s <= sharing.NumParties && !res.flagged[s] {
+			ctx.Ledger.Record(s, suspicion.KindDecisionDeviation, session, step)
+		}
+	}
 }
 
 // reconstructionsFor builds the flagged six-way reconstruction set for

@@ -58,6 +58,20 @@ func (ctx *Ctx) exchangeOptimistic(session, step string, bundles []sharing.Bundl
 		own = ctx.Adversary.CorruptPreCommit(session, step, cloneBundles(bundles))
 	}
 
+	// As in exchangeBundles: messages still go to every peer, but receive
+	// timers are spent only on peers not yet convicted this session or
+	// flagged earlier in this exchange. The missing-message branches below
+	// then zero-fill the skipped peers.
+	alive := func() []int {
+		out := make([]int, 0, len(peers))
+		for _, p := range peers {
+			if !ctx.Flagged[p] && !res.flagged[p] {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+
 	commitStep := step + "/commit"
 	partialStep := step + "/open-partial"
 	voteStep := step + "/vote"
@@ -73,7 +87,7 @@ func (ctx *Ctx) exchangeOptimistic(session, step string, bundles []sharing.Bundl
 		if err := ctx.Router.Broadcast(peers, session, commitStep, payload); err != nil {
 			return res, fmt.Errorf("protocol: optimistic commit: %w", err)
 		}
-		msgs, gerr := ctx.Router.Gather(peers, session, commitStep)
+		msgs, gerr := ctx.Router.Gather(alive(), session, commitStep)
 		if gerr != nil && !isTimeout(gerr) {
 			return res, gerr
 		}
@@ -102,7 +116,7 @@ func (ctx *Ctx) exchangeOptimistic(session, step string, bundles []sharing.Bundl
 	// partials[p] holds (primary, second) pairs per bundle.
 	var partials [sharing.NumParties + 1][][2]Mat
 	partials[ctx.Index] = partialPairs(own)
-	msgs, gerr := ctx.Router.Gather(peers, session, partialStep)
+	msgs, gerr := ctx.Router.Gather(alive(), session, partialStep)
 	if gerr != nil && !isTimeout(gerr) {
 		return res, gerr
 	}
@@ -177,7 +191,7 @@ func (ctx *Ctx) exchangeOptimistic(session, step string, bundles []sharing.Bundl
 		return res, err
 	}
 	accept := myVote == 1
-	voteMsgs, gerr := ctx.Router.Gather(peers, session, voteStep)
+	voteMsgs, gerr := ctx.Router.Gather(alive(), session, voteStep)
 	if gerr != nil && !isTimeout(gerr) {
 		return res, gerr
 	}
@@ -223,7 +237,7 @@ func (ctx *Ctx) exchangeOptimistic(session, step string, bundles []sharing.Bundl
 	}
 	var hats [sharing.NumParties + 1][]Mat
 	hats[ctx.Index] = hatMats(own)
-	hatMsgs, gerr := ctx.Router.Gather(peers, session, hatStep)
+	hatMsgs, gerr := ctx.Router.Gather(alive(), session, hatStep)
 	if gerr != nil && !isTimeout(gerr) {
 		return res, gerr
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/suspicion"
 	"github.com/trustddl/trustddl/internal/transport"
 )
 
@@ -19,6 +20,7 @@ const (
 	stepAuxPositive    = "aux-pos"
 	stepTripleBatch    = "triple-batch"
 	stepShutdown       = "shutdown"
+	stepRejoin         = "rejoin"
 	respSuffix         = "/resp"
 	fnPrefix           = "fn/"
 	sinkPrefix         = "sink/"
@@ -69,6 +71,14 @@ type OwnerService struct {
 	// triples map forever; after the TTL the entry is retired alongside
 	// the expired gathers. Zero or negative disables expiry.
 	TripleTTL time.Duration
+	// Ledger, when non-nil, receives the owner's detection evidence:
+	// gather timeouts (circumstantial) and decision-rule deviations
+	// (attributable), alongside the legacy stats.Suspicions counters.
+	Ledger *suspicion.Ledger
+	// OnRejoin, when non-nil, is called (on the service goroutine) when
+	// a computing party announces it restarted and needs to be
+	// re-provisioned with the current architecture and weight shares.
+	OnRejoin func(party int)
 	// Resharer, when set, draws the share randomness of delegated
 	// function results (softmax, §III-C) instead of the dealing dealer.
 	// Keeping the two streams separate makes the triple stream a pure
@@ -215,6 +225,13 @@ func (s *OwnerService) dispatch(msg transport.Message) error {
 		return s.handleGather(msg)
 	case strings.HasPrefix(msg.Step, sinkPrefix):
 		return s.handleGather(msg)
+	case msg.Step == stepRejoin:
+		// A restarted party announces itself; the session driver decides
+		// when to re-deal arch + weight shares (see core.TrainSession).
+		if msg.From >= 1 && msg.From <= sharing.NumParties && s.OnRejoin != nil {
+			s.OnRejoin(msg.From)
+		}
+		return nil
 	default:
 		// Unknown steps are ignored: a Byzantine party must not be able
 		// to crash the owner with garbage.
@@ -463,10 +480,19 @@ func (s *OwnerService) finishGather(session string, g *gatherEntry) error {
 	if err != nil {
 		return err
 	}
+	for _, p := range missing {
+		s.Ledger.Record(p, suspicion.KindGatherTimeout, session, g.step)
+	}
 	if suspect := rec.Suspect(value, s.SuspicionTolerance); suspect != 0 {
 		s.mu.Lock()
 		s.stats.Suspicions[suspect]++
 		s.mu.Unlock()
+		// Only a present-but-deviating party earns attributable evidence;
+		// an absent one was already recorded as a (circumstantial) gather
+		// timeout — its zero-filled placeholder trivially deviates.
+		if _, present := g.bundles[suspect]; present {
+			s.Ledger.Record(suspect, suspicion.KindDecisionDeviation, session, g.step)
+		}
 	}
 
 	switch {
@@ -588,6 +614,13 @@ func SendToSink(ctx *Ctx, owner int, name, session string, arg sharing.Bundle) e
 		arg = ctx.Adversary.CorruptPreCommit(session, sinkPrefix+name, []sharing.Bundle{arg.Clone()})[0]
 	}
 	return ctx.Router.Send(owner, session, sinkPrefix+name, transport.EncodeBundle(arg))
+}
+
+// AnnounceRejoin tells the model owner this party (re)started with no
+// session state, so the session driver re-provisions it with the
+// architecture and current weight shares from the latest checkpoint.
+func AnnounceRejoin(ctx *Ctx) error {
+	return ctx.Router.Send(transport.ModelOwner, "", stepRejoin, nil)
 }
 
 func decodeTriple(payload []byte) (sharing.TripleBundle, error) {

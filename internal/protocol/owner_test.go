@@ -292,14 +292,14 @@ func TestOwnerIgnoresMalformedBatch(t *testing.T) {
 		return buf
 	}
 	poison := [][]byte{
-		nil,                          // empty
-		{0xff, 0xee},                 // truncated header
-		le(1 << 20),                  // absurd item count, no body
-		item(1, 0, 7),                // zero dim
-		item(1, 1<<25, 7),            // dim past the 1<<24 cap
-		item(9, 2, 2),                // unknown kind
-		append(item(1, 2, 2), 0xAB),  // trailing byte
-		item(2, 2, 2),                // matmul kind with hadamard arity
+		nil,                         // empty
+		{0xff, 0xee},                // truncated header
+		le(1 << 20),                 // absurd item count, no body
+		item(1, 0, 7),               // zero dim
+		item(1, 1<<25, 7),           // dim past the 1<<24 cap
+		item(9, 2, 2),               // unknown kind
+		append(item(1, 2, 2), 0xAB), // trailing byte
+		item(2, 2, 2),               // matmul kind with hadamard arity
 	}
 	for i, p := range poison {
 		if err := ctx.Router.Send(transport.ModelOwner, fmt.Sprintf("byz%d", i), stepTripleBatch, p); err != nil {

@@ -85,6 +85,7 @@ func secMulBT(ctx *Ctx, session string, x, y sharing.Bundle, triple sharing.Trip
 			return sharing.Bundle{}, fmt.Errorf("protocol: SecMulBT decide: %w", err)
 		}
 		eVal, fVal = vals[0], vals[1]
+		ctx.recordDeviations(session, "ef", res, []*sharing.Reconstructions{recE, recF}, vals)
 	}
 
 	// Lines 21–24: local share computation z = c + e·b + a·f, with the

@@ -79,7 +79,7 @@ func (n *ChanNetwork) Endpoint(actor int) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: actor %s already attached", ActorName(actor))
 	}
 	n.claimed[actor] = true
-	return &chanEndpoint{net: n, self: actor}, nil
+	return &chanEndpoint{net: n, self: actor, done: make(chan struct{})}, nil
 }
 
 // Stats implements Network.
@@ -120,6 +120,7 @@ type chanEndpoint struct {
 
 	mu     sync.Mutex
 	closed bool
+	done   chan struct{} // closed by Close to unblock in-flight Recv/Send
 }
 
 func (e *chanEndpoint) Self() int { return e.self }
@@ -153,6 +154,8 @@ func (e *chanEndpoint) Send(msg Message) error {
 		defer timer.Stop()
 		select {
 		case inbox <- msg:
+		case <-e.done:
+			return ErrClosed
 		case <-e.net.done:
 			return ErrClosed
 		case <-timer.C:
@@ -177,6 +180,8 @@ func (e *chanEndpoint) Recv(timeout time.Duration) (Message, error) {
 		case msg := <-inbox:
 			e.net.meter.recordRecv(msg)
 			return msg, nil
+		case <-e.done:
+			return Message{}, ErrClosed
 		case <-e.net.done:
 			return Message{}, ErrClosed
 		}
@@ -187,6 +192,8 @@ func (e *chanEndpoint) Recv(timeout time.Duration) (Message, error) {
 	case msg := <-inbox:
 		e.net.meter.recordRecv(msg)
 		return msg, nil
+	case <-e.done:
+		return Message{}, ErrClosed
 	case <-e.net.done:
 		return Message{}, ErrClosed
 	case <-timer.C:
@@ -199,6 +206,7 @@ func (e *chanEndpoint) Close() error {
 	defer e.mu.Unlock()
 	if !e.closed {
 		e.closed = true
+		close(e.done)
 		e.net.release(e.self)
 	}
 	return nil

@@ -1,9 +1,22 @@
 package transport
 
+import (
+	"sync"
+	"time"
+)
+
 // SendInterceptor inspects and rewrites an outbound message. Returning
 // nil drops the message. Interceptors are how the Byzantine adversary
 // library (internal/byzantine) injects corrupted shares, equivocation,
 // delays and message loss without the protocol code knowing.
+//
+// An interceptor that sets a positive DelayBy on the returned message
+// asks the wrapper to deliver it asynchronously after that delay: the
+// Send call returns immediately, so a delayed party models network
+// latency rather than a frozen writer. Delayed messages to the same
+// destination keep their relative order; ordering between delayed and
+// undelayed messages is not preserved (an undelayed message overtakes
+// a delayed one, exactly as on a real network).
 type SendInterceptor func(msg Message) *Message
 
 // Intercepted wraps ep so that every Send first flows through fn.
@@ -15,7 +28,16 @@ type interceptedEndpoint struct {
 	Endpoint
 
 	fn SendInterceptor
+
+	mu     sync.Mutex
+	queues map[int]chan Message // per-destination FIFO of delayed sends
+	closed bool
 }
+
+// delayQueueDepth bounds the backlog of not-yet-delivered delayed
+// messages per destination; beyond it the sender gets ErrTimeout,
+// mirroring a full inbox.
+const delayQueueDepth = 1024
 
 func (e *interceptedEndpoint) Send(msg Message) error {
 	msg.From = e.Self()
@@ -23,5 +45,60 @@ func (e *interceptedEndpoint) Send(msg Message) error {
 	if out == nil {
 		return nil // silently dropped: the receiver's timer handles it
 	}
+	if out.DelayBy > 0 {
+		return e.enqueueDelayed(*out)
+	}
 	return e.Endpoint.Send(*out)
+}
+
+// enqueueDelayed hands msg to the per-destination delivery goroutine,
+// spawning it on first use.
+func (e *interceptedEndpoint) enqueueDelayed(msg Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if e.queues == nil {
+		e.queues = make(map[int]chan Message)
+	}
+	q, ok := e.queues[msg.To]
+	if !ok {
+		q = make(chan Message, delayQueueDepth)
+		e.queues[msg.To] = q
+		go e.deliverDelayed(q)
+	}
+	e.mu.Unlock()
+	select {
+	case q <- msg:
+		return nil
+	default:
+		return ErrTimeout
+	}
+}
+
+func (e *interceptedEndpoint) deliverDelayed(q chan Message) {
+	for msg := range q {
+		d := msg.DelayBy
+		msg.DelayBy = 0
+		time.Sleep(d)
+		// Best effort: if the underlying endpoint has closed, the
+		// message is simply lost — the receiver's timeout handles it,
+		// same as a drop.
+		_ = e.Endpoint.Send(msg)
+	}
+}
+
+func (e *interceptedEndpoint) Close() error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		for _, q := range e.queues {
+			close(q)
+		}
+	}
+	e.mu.Unlock()
+	// Delivery goroutines drain any already-queued messages and exit on
+	// their own; Close does not wait out pending delays.
+	return e.Endpoint.Close()
 }

@@ -63,6 +63,12 @@ type Message struct {
 	// travels on the wire.
 	Spoofed     bool
 	ClaimedFrom int
+
+	// DelayBy, when positive, asks the intercepted-endpoint wrapper to
+	// deliver this message that much later without blocking subsequent
+	// sends (per-destination ordering among delayed messages is kept).
+	// Set by fault-injection interceptors; never travels on the wire.
+	DelayBy time.Duration
 }
 
 // frameHeader is the exact framing cost per message on the TCP

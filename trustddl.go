@@ -38,6 +38,7 @@ import (
 	"github.com/trustddl/trustddl/internal/fixed"
 	"github.com/trustddl/trustddl/internal/nn"
 	"github.com/trustddl/trustddl/internal/protocol"
+	"github.com/trustddl/trustddl/internal/suspicion"
 )
 
 // Mode selects the adversary model a deployment defends against.
@@ -121,3 +122,41 @@ type Adversary = protocol.Adversary
 // OwnerStats summarizes the model-owner service activity, including
 // per-party Byzantine suspicion counts.
 type OwnerStats = protocol.OwnerStats
+
+// SessionConfig extends TrainConfig with fault-tolerance policy:
+// checkpoint location and cadence, retry budget and backoff, and fault
+// observers (Cluster.TrainSession / Cluster.ResumeTrain).
+type SessionConfig = core.SessionConfig
+
+// Checkpoint is a resumable training snapshot written by the model
+// owner: plaintext weights, optimizer state and the training cursor.
+type Checkpoint = core.Checkpoint
+
+// ErrSessionStopped marks a session stopped cleanly by its OnBatch hook
+// (e.g. SIGINT); progress up to the stop is checkpointed.
+var ErrSessionStopped = core.ErrSessionStopped
+
+// SaveCheckpoint / LoadCheckpoint persist and recover session
+// snapshots; CheckpointPath names the snapshot file inside a directory.
+var (
+	SaveCheckpoint = core.SaveCheckpoint
+	LoadCheckpoint = core.LoadCheckpoint
+	CheckpointPath = core.CheckpointPath
+)
+
+// SuspicionReport is a snapshot of the unified suspicion ledger: all
+// detection evidence aggregated across the deployment's detection sites
+// plus the parties convicted under the threshold
+// (Cluster.Suspicions()).
+type SuspicionReport = suspicion.Report
+
+// SuspicionEvidence is one aggregated evidence record of the ledger.
+type SuspicionEvidence = suspicion.Evidence
+
+// SuspicionKind labels where a piece of evidence came from and whether
+// it is attributable (counts toward conviction) or circumstantial.
+type SuspicionKind = suspicion.Kind
+
+// TransientTrainErr classifies a training failure as survivable
+// (retry from checkpoint) versus fatal.
+func TransientTrainErr(err error) bool { return core.TransientTrainErr(err) }
