@@ -58,6 +58,27 @@ func FormatTriples(cfg TriplesConfig, rows []TriplesRow) string {
 	return bench.FormatTriples(cfg, rows)
 }
 
+// ObsConfig parameterizes the observability benchmark: the secure
+// single-image workload with a live metrics registry attached, compared
+// against the identical uninstrumented run.
+type ObsConfig = bench.ObsConfig
+
+// ObsResult is the observability benchmark report.
+type ObsResult = bench.ObsResult
+
+// ObsPhase is one latency histogram digest inside an ObsResult.
+type ObsPhase = bench.ObsPhase
+
+// MeasureObs runs the observability benchmark and reports the metrics
+// snapshot, per-phase latency digest and instrumentation overhead.
+func MeasureObs(cfg ObsConfig) (ObsResult, error) { return bench.MeasureObs(cfg) }
+
+// WriteObsJSON persists an observability report (BENCH_obs.json).
+func WriteObsJSON(path string, res ObsResult) error { return bench.WriteObsJSON(path, res) }
+
+// FormatObs renders an observability report as a table.
+func FormatObs(res ObsResult) string { return bench.FormatObs(res) }
+
 // PrecisionConfig parameterizes the fixed-point precision sweep (the
 // ablation behind the paper's §IV-B choice of 20 fractional bits).
 type PrecisionConfig = bench.PrecisionConfig

@@ -6,6 +6,14 @@
 // Usage:
 //
 //	trustddl-bench [-iters N] [-seed S] [-frameworks a,b,...] [-parallelism P] [-prefetch-depth N]
+//	               [-obs] [-obs-json PATH] [-metrics-addr HOST:PORT]
+//
+// With -obs the observability benchmark runs instead: the secure
+// workload executes once without and once with a live metrics registry
+// attached, and the report shows every protocol-phase latency histogram
+// plus the instrumentation overhead. -obs-json persists that report;
+// -metrics-addr additionally serves the live registry over HTTP
+// (/metrics, /debug/vars, /debug/pprof) while the benchmark runs.
 package main
 
 import (
@@ -31,8 +39,15 @@ func run(args []string) error {
 	frameworks := fs.String("frameworks", "", "comma-separated framework filter (SecureNN, Falcon, SafeML, TrustDDL); empty runs all")
 	parallelism := fs.Int("parallelism", 0, "tensor-kernel worker goroutines (0 = NumCPU, 1 = serial)")
 	prefetchDepth := fs.Int("prefetch-depth", 0, "triple prefetch pipeline depth for the TrustDDL rows (0 = on-demand dealing)")
+	obsRun := fs.Bool("obs", false, "run the observability benchmark (per-phase latency histograms + instrumentation overhead) instead of Table II")
+	obsJSON := fs.String("obs-json", "", "with -obs, also write the report to this file (e.g. BENCH_obs.json)")
+	metricsAddr := fs.String("metrics-addr", "", "with -obs, serve the live registry on this address while the benchmark runs")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *obsRun || *obsJSON != "" {
+		return runObs(*iters, *seed, *parallelism, *prefetchDepth, *obsJSON, *metricsAddr)
 	}
 
 	cfg := trustddl.Table2Config{Iterations: *iters, Seed: *seed, Parallelism: *parallelism, PrefetchDepth: *prefetchDepth}
@@ -48,5 +63,40 @@ func run(args []string) error {
 	}
 	fmt.Print(trustddl.FormatTable2(rows))
 	fmt.Println("\nSee EXPERIMENTS.md for the paper-vs-measured comparison.")
+	return nil
+}
+
+// runObs drives the observability benchmark, optionally serving the
+// live registry while it runs and persisting the report.
+func runObs(iters int, seed uint64, parallelism, prefetchDepth int, jsonPath, metricsAddr string) error {
+	cfg := trustddl.ObsConfig{
+		Iterations:    iters,
+		Seed:          seed,
+		Parallelism:   parallelism,
+		PrefetchDepth: prefetchDepth,
+	}
+	if metricsAddr != "" {
+		cfg.Registry = trustddl.NewObsRegistry("bench")
+		srv, err := trustddl.ServeMetrics(metricsAddr, cfg.Registry)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics at http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr)
+	}
+
+	fmt.Println("TrustDDL observability benchmark (secure single-image training + inference)")
+	fmt.Printf("(averaged over %d iterations, Table I network, malicious mode)\n\n", iters)
+	res, err := trustddl.MeasureObs(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(trustddl.FormatObs(res))
+	if jsonPath != "" {
+		if err := trustddl.WriteObsJSON(jsonPath, res); err != nil {
+			return err
+		}
+		fmt.Printf("\nreport written to %s\n", jsonPath)
+	}
 	return nil
 }

@@ -40,6 +40,7 @@ import (
 	"github.com/trustddl/trustddl/internal/core"
 	"github.com/trustddl/trustddl/internal/fixed"
 	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/obs"
 	"github.com/trustddl/trustddl/internal/party"
 	"github.com/trustddl/trustddl/internal/protocol"
 	"github.com/trustddl/trustddl/internal/transport"
@@ -65,6 +66,7 @@ func run(args []string) error {
 	retryBackoff := fs.Duration("retry-backoff", 0, "initial redial backoff, doubled per retry (0 = transport default)")
 	prefetchDepth := fs.Int("prefetch-depth", 0, "triple prefetch pipeline depth (0 = off, n = batched segments of n requests)")
 	rejoin := fs.Bool("rejoin", false, "announce this party as a restarted member so the driver re-provisions it from the latest checkpoint")
+	metricsAddr := fs.String("metrics-addr", "", "serve live metrics on this address (/metrics JSON snapshot, /debug/vars, /debug/pprof); empty disables")
 	genKey := fs.Bool("genkey", false, "generate a fresh ed25519 identity (seed + public key) and exit")
 	keySeed := fs.String("key", "", "this party's ed25519 seed in hex (from -genkey); enables authenticated handshakes")
 	peerKeys := fs.String("peer-keys", "", "all five actors' ed25519 public keys as 'id=hex' pairs, comma separated (required with -key)")
@@ -110,6 +112,18 @@ func run(args []string) error {
 	ctx, err := protocol.NewCtx(party.NewRouter(ep, *timeout), *partyID, params, !*hbc)
 	if err != nil {
 		return err
+	}
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry(fmt.Sprintf("party%d", *partyID))
+		netw.SetObs(reg)
+		ctx.SetObs(reg)
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("trustddl-party: metrics at http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr)
 	}
 
 	// Graceful shutdown: the first signal drains the transport (closing

@@ -62,6 +62,7 @@ func run(args []string) error {
 	ckptEvery := fs.Int("checkpoint-every", 0, "mid-epoch checkpoint cadence in batches (0 = end of epoch only)")
 	resume := fs.Bool("resume", false, "continue from the checkpoint in -checkpoint-dir instead of starting fresh")
 	suspTol := fs.Float64("suspicion-tol", 0, "decision-rule suspicion tolerance in raw ring units (0 = per-site defaults)")
+	metricsAddr := fs.String("metrics-addr", "", "serve the secure engine's live metrics on this address (/metrics JSON snapshot, /debug/vars, /debug/pprof); empty disables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,6 +79,16 @@ func run(args []string) error {
 		printTableI()
 		return nil
 	}
+	var reg *trustddl.ObsRegistry
+	if *metricsAddr != "" {
+		reg = trustddl.NewObsRegistry("train")
+		srv, err := trustddl.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("trustddl-train: metrics at http://%s/metrics (pprof at /debug/pprof/)\n", srv.Addr)
+	}
 	if *sweep {
 		return runPrecisionSweep(*epochs, *trainN, *testN, *batch, *lr, *seed)
 	}
@@ -89,7 +100,7 @@ func run(args []string) error {
 			dir: *ckptDir, every: *ckptEvery, resume: *resume,
 			epochs: *epochs, trainN: *trainN, testN: *testN, batch: *batch,
 			lr: *lr, seed: *seed, dataDir: *dataDir, suspTol: *suspTol,
-			save: *savePath,
+			save: *savePath, obs: reg,
 		})
 	}
 
@@ -105,6 +116,7 @@ func run(args []string) error {
 		LR:      *lr,
 		Seed:    *seed,
 		DataDir: *dataDir,
+		Obs:     reg,
 		OnEpoch: func(engine string, epoch int, acc float64) {
 			fmt.Printf("  [%s] epoch %d: accuracy %.2f%%\n", engine, epoch, 100*acc)
 		},
@@ -135,6 +147,7 @@ type sessionParams struct {
 	dataDir string
 	suspTol float64
 	save    string
+	obs     *trustddl.ObsRegistry
 }
 
 // runSession drives the fault-tolerant secure training session:
@@ -147,6 +160,7 @@ func runSession(p sessionParams) error {
 		Triples:            trustddl.OfflinePrecomputed,
 		Seed:               p.seed,
 		SuspicionTolerance: p.suspTol,
+		Obs:                p.obs,
 	})
 	if err != nil {
 		return err

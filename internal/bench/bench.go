@@ -14,6 +14,7 @@ import (
 	"github.com/trustddl/trustddl/internal/core"
 	"github.com/trustddl/trustddl/internal/mnist"
 	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/obs"
 	"github.com/trustddl/trustddl/internal/protocol"
 	"github.com/trustddl/trustddl/internal/tensor"
 )
@@ -218,6 +219,9 @@ type Fig2Config struct {
 	Parallelism int
 	// OnEpoch, when non-nil, observes progress per engine and epoch.
 	OnEpoch func(engine string, epoch int, acc float64)
+	// Obs, when non-nil, receives the secure engine's live metrics
+	// (protocol phases, transport volume, per-layer timings).
+	Obs *obs.Registry
 }
 
 // Fig2Point is one x-position of the reproduction of Fig. 2.
@@ -299,6 +303,7 @@ func Fig2(cfg Fig2Config) (Fig2Result, error) {
 		Mode:    core.Malicious,
 		Triples: core.OfflinePrecomputed, // dealing strategy does not affect accuracy
 		Seed:    cfg.Seed,
+		Obs:     cfg.Obs,
 	})
 	if err != nil {
 		return Fig2Result{}, err

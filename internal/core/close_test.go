@@ -1,0 +1,68 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestCloseDeadNetworkSurfacesError pins the Close contract when the
+// transport dies before shutdown: the failed shutdown send must surface
+// in Close's error (it used to be discarded, leaving "cluster closed
+// cleanly" indistinguishable from "shutdown never reached the owner"),
+// Close must still return promptly rather than eating the full drain
+// timeout, and no cluster goroutine may leak.
+func TestCloseDeadNetworkSurfacesError(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	c, err := New(Config{Mode: HonestButCurious, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the transport out from under the cluster, as a crash of the
+	// process hosting the mesh would.
+	if err := c.Network().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	closeErr := c.Close()
+	elapsed := time.Since(start)
+
+	if closeErr == nil {
+		t.Error("Close() = nil on a dead network, want the failed shutdown send surfaced")
+	}
+	// The dead network breaks the owner's receive loop too, so the
+	// ownerDone drain must resolve well before its 5 s timeout.
+	if elapsed > 3*time.Second {
+		t.Errorf("Close took %v on a dead network, want prompt return", elapsed)
+	}
+
+	// All cluster goroutines (owner service, transport pumps) must be
+	// gone; poll because goroutine teardown is asynchronous.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after Close: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCloseLiveNetworkClean is the counterpart: on a healthy cluster
+// Close reports no error.
+func TestCloseLiveNetworkClean(t *testing.T) {
+	c, err := New(Config{Mode: HonestButCurious, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("Close() on a healthy cluster = %v, want nil", err)
+	}
+}

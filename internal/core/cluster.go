@@ -8,12 +8,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"github.com/trustddl/trustddl/internal/fixed"
 	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/obs"
 	"github.com/trustddl/trustddl/internal/party"
 	"github.com/trustddl/trustddl/internal/protocol"
 	"github.com/trustddl/trustddl/internal/sharing"
@@ -111,6 +113,12 @@ type Config struct {
 	// slack accumulates across the network depth). Deep architectures
 	// raise it to keep honest parties out of the ledger.
 	SuspicionTolerance float64
+	// Obs, when non-nil, is the live metrics registry the whole stack
+	// records into: the transport meter mirror, per-phase protocol
+	// timing, per-layer nn wall time, owner-service counters, session
+	// events and suspicion evidence. Nil disables all of it at
+	// nil-check cost.
+	Obs *obs.Registry
 }
 
 // Cluster is a wired TrustDDL deployment.
@@ -166,6 +174,12 @@ func New(cfg Config) (*Cluster, error) {
 		c.net = transport.NewChanNetwork()
 		c.ownNet = true
 	}
+	if cfg.Obs != nil {
+		// Attach before any traffic flows so the registry mirror and the
+		// transport meter agree bit-for-bit.
+		transport.SetObs(c.net, cfg.Obs)
+		c.ledger.SetObs(cfg.Obs)
+	}
 
 	newSource := func(tag uint64) sharing.Source {
 		if cfg.Seed != 0 {
@@ -175,6 +189,10 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.modelDlr = sharing.NewDealer(newSource(1), cfg.Params)
 	c.dataDealer = sharing.NewDealer(newSource(2), cfg.Params)
+	if cfg.Obs != nil {
+		c.modelDlr.SetObs(cfg.Obs)
+		c.dataDealer.SetObs(cfg.Obs)
+	}
 
 	var pre *sharing.PreDealer
 	if cfg.Triples == OfflinePrecomputed {
@@ -204,6 +222,9 @@ func New(cfg Config) (*Cluster, error) {
 		ctx.Optimistic = cfg.Optimistic
 		ctx.Ledger = c.ledger
 		ctx.SuspicionTolerance = cfg.SuspicionTolerance
+		if cfg.Obs != nil {
+			ctx.SetObs(cfg.Obs)
+		}
 		ctx.Router.OnSpoof = c.recordSpoof
 		c.ctxs[i-1] = ctx
 		if pre != nil {
@@ -239,6 +260,7 @@ func New(cfg Config) (*Cluster, error) {
 		c.ownerSvc.GatherTimeout = cfg.Timeout / 2
 	}
 	c.ownerSvc.Ledger = c.ledger
+	c.ownerSvc.Obs = cfg.Obs
 	if cfg.SuspicionTolerance > 0 {
 		c.ownerSvc.SuspicionTolerance = cfg.SuspicionTolerance
 	}
@@ -273,20 +295,30 @@ func (c *Cluster) recordSpoof(se *party.SpoofError) {
 }
 
 // Close stops the owner service and, if the cluster owns its network,
-// tears the network down.
+// tears the network down. A failed shutdown send is reported, not
+// swallowed: the owner goroutine is still drained afterwards (a broken
+// network also breaks the service's receive loop, so the drain
+// completes), and both errors are joined.
 func (c *Cluster) Close() error {
-	var svcErr error
+	var errs []error
 	if c.ownerDone != nil {
-		if err := protocol.Shutdown(c.dataRouterEndpoint(), transport.ModelOwner); err == nil {
-			select {
-			case svcErr = <-c.ownerDone:
-			case <-time.After(5 * time.Second):
-				svcErr = fmt.Errorf("core: owner service did not stop")
+		if err := protocol.Shutdown(c.dataRouterEndpoint(), transport.ModelOwner); err != nil {
+			// A failed send usually means the network is already down, in
+			// which case the service's receive loop is broken too and the
+			// drain below returns promptly rather than eating the timeout.
+			errs = append(errs, fmt.Errorf("core: shutdown send: %w", err))
+		}
+		select {
+		case err := <-c.ownerDone:
+			if err != nil {
+				errs = append(errs, fmt.Errorf("core: owner service: %w", err))
 			}
+		case <-time.After(5 * time.Second):
+			errs = append(errs, fmt.Errorf("core: owner service did not stop"))
 		}
 	}
 	c.shutdown()
-	return svcErr
+	return errors.Join(errs...)
 }
 
 func (c *Cluster) dataRouterEndpoint() transport.Endpoint {
@@ -313,6 +345,10 @@ func (c *Cluster) shutdown() {
 		_ = c.net.Close()
 	}
 }
+
+// Obs returns the cluster's live metrics registry (nil when
+// observability is disabled).
+func (c *Cluster) Obs() *obs.Registry { return c.cfg.Obs }
 
 // Stats snapshots the transport traffic counters.
 func (c *Cluster) Stats() transport.Stats { return c.net.Stats() }

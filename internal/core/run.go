@@ -185,6 +185,13 @@ func (r *Run) TrainBatch(images []mnist.Image, lr float64) error {
 	if lr <= 0 {
 		return fmt.Errorf("core: non-positive learning rate %v", lr)
 	}
+	if reg := r.c.cfg.Obs; reg != nil {
+		start := time.Now()
+		defer func() {
+			reg.Counter("core.train.batches").Inc()
+			reg.Histogram("core.train.batch").Observe(time.Since(start))
+		}()
+	}
 	x, oneHot, err := batchMatrices(images)
 	if err != nil {
 		return err
@@ -236,6 +243,13 @@ func (r *Run) TrainBatch(images []mnist.Image, lr float64) error {
 // logitsFor runs the secure forward pass for a batch and reveals the
 // logits at the data owner via the six-way decision rule.
 func (r *Run) logitsFor(images []mnist.Image) (protocol.Mat, error) {
+	if reg := r.c.cfg.Obs; reg != nil {
+		start := time.Now()
+		defer func() {
+			reg.Counter("core.infer.ops").Inc()
+			reg.Histogram("core.infer").Observe(time.Since(start))
+		}()
+	}
 	x, _, err := batchMatrices(images)
 	if err != nil {
 		return protocol.Mat{}, err

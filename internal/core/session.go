@@ -173,6 +173,7 @@ func (c *Cluster) resumeSession(state *Checkpoint, train, test mnist.Dataset, sc
 		state = ck
 		retries = 0
 		sinceCkpt = 0
+		c.cfg.Obs.Counter("core.session.checkpoints").Inc()
 		return nil
 	}
 
@@ -189,6 +190,7 @@ func (c *Cluster) resumeSession(state *Checkpoint, train, test mnist.Dataset, sc
 			return fmt.Errorf("core: epoch %d batch at %d: %w", epoch, at, err)
 		}
 		retries++
+		c.cfg.Obs.Counter("core.session.retries").Inc()
 		time.Sleep(sc.RetryBackoff)
 		newRun, perr := provision(state)
 		if perr != nil {
@@ -230,6 +232,7 @@ func (c *Cluster) resumeSession(state *Checkpoint, train, test mnist.Dataset, sc
 					continue
 				}
 				run = newRun
+				c.cfg.Obs.Counter("core.session.rejoins").Inc()
 				c.clearRejoins()
 			}
 			end := at + sc.Batch

@@ -59,9 +59,39 @@ func (p Params) Scale() float64 {
 	return float64(int64(1) << p.FracBits)
 }
 
-// FromFloat encodes x into the ring with round-to-nearest.
+// FromFloat encodes x into the ring with round-to-nearest, saturating
+// at the ring bounds. NaN encodes to 0 and ±Inf to the respective
+// bound; callers that must distinguish exact encodings from clamped
+// ones use FromFloatChecked.
 func (p Params) FromFloat(x float64) int64 {
-	return int64(math.Round(x * p.Scale()))
+	v, _ := p.FromFloatChecked(x)
+	return v
+}
+
+// FromFloatChecked encodes x like FromFloat and additionally reports
+// whether the encoding was exact (true) or had to saturate (false:
+// NaN, ±Inf, or a magnitude outside the ring).
+//
+// Before saturation was introduced, out-of-range values went through
+// Go's float→int conversion, whose result is unspecified for values
+// that do not fit — shares derived from a single rogue float (a NaN
+// loss, an overflowed gradient) were silently corrupted with
+// platform-dependent garbage. Deterministic clamping keeps the ring
+// value well-defined everywhere and lets encoders count the event.
+func (p Params) FromFloatChecked(x float64) (int64, bool) {
+	r := math.Round(x * p.Scale())
+	switch {
+	case math.IsNaN(r):
+		return 0, false
+	// float64(1<<63) is exactly 2^63; anything ≥ it (including +Inf)
+	// exceeds MaxInt64 = 2^63−1. Exactly −2^63 is representable, so
+	// only r < −2^63 saturates low.
+	case r >= float64(1<<63):
+		return math.MaxInt64, false
+	case r < -float64(1<<63):
+		return math.MinInt64, false
+	}
+	return int64(r), true
 }
 
 // ToFloat decodes a ring element back to float64.

@@ -136,3 +136,59 @@ func TestPropertyMulCommutative(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFromFloatCheckedSaturation pins the deterministic behavior of the
+// checked encoder on every value the ring cannot represent. Before the
+// saturating encoder, these went through Go's unspecified float→int
+// conversion and produced platform-dependent garbage shares.
+func TestFromFloatCheckedSaturation(t *testing.T) {
+	p := Default()
+	huge := math.Ldexp(1, 80) // far beyond the 63 magnitude bits at any F
+	tests := []struct {
+		name  string
+		give  float64
+		want  int64
+		exact bool
+	}{
+		{name: "zero", give: 0, want: 0, exact: true},
+		{name: "one", give: 1, want: 1 << DefaultFracBits, exact: true},
+		{name: "minus-one", give: -1, want: -(1 << DefaultFracBits), exact: true},
+		{name: "nan", give: math.NaN(), want: 0},
+		{name: "plus-inf", give: math.Inf(1), want: math.MaxInt64},
+		{name: "minus-inf", give: math.Inf(-1), want: math.MinInt64},
+		{name: "overflow", give: huge, want: math.MaxInt64},
+		{name: "neg-overflow", give: -huge, want: math.MinInt64},
+		// 2^63 scaled is exactly the first unrepresentable positive
+		// value; 2^63−1 is not representable as float64, so the nearest
+		// in-range encodable float is slightly below.
+		{name: "boundary-high", give: math.Ldexp(1, 63-DefaultFracBits), want: math.MaxInt64},
+		// −2^63 is exactly representable in both float64 and int64.
+		{name: "boundary-low", give: -math.Ldexp(1, 63-DefaultFracBits), want: math.MinInt64, exact: true},
+		{name: "max-float64", give: math.MaxFloat64, want: math.MaxInt64},
+		{name: "smallest-subnormal", give: math.SmallestNonzeroFloat64, want: 0, exact: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, exact := p.FromFloatChecked(tt.give)
+			if got != tt.want || exact != tt.exact {
+				t.Errorf("FromFloatChecked(%v) = (%d, %v), want (%d, %v)", tt.give, got, exact, tt.want, tt.exact)
+			}
+			if unchecked := p.FromFloat(tt.give); unchecked != tt.want {
+				t.Errorf("FromFloat(%v) = %d, want %d", tt.give, unchecked, tt.want)
+			}
+		})
+	}
+}
+
+// Property: the checked encoder never disagrees with the plain one, and
+// an exact report implies the value round-trips within half an ULP.
+func TestPropertyFromFloatCheckedAgrees(t *testing.T) {
+	p := Default()
+	f := func(x float64) bool {
+		v, _ := p.FromFloatChecked(x)
+		return v == p.FromFloat(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

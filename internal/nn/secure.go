@@ -2,8 +2,10 @@ package nn
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/trustddl/trustddl/internal/fixed"
+	"github.com/trustddl/trustddl/internal/obs"
 	"github.com/trustddl/trustddl/internal/protocol"
 	"github.com/trustddl/trustddl/internal/sharing"
 	"github.com/trustddl/trustddl/internal/tensor"
@@ -407,16 +409,39 @@ func (n *SecureNetwork) SetMomentum(mu float64) {
 	}
 }
 
-// Logits runs the secure forward pass up to (excluding) softmax.
+// Logits runs the secure forward pass up to (excluding) softmax. With
+// a metrics registry attached to ctx, each layer's wall time lands in
+// an nn.l<i>.forward histogram.
 func (n *SecureNetwork) Logits(ctx *protocol.Ctx, ts TripleSource, session string, x sharing.Bundle) (sharing.Bundle, error) {
+	reg := ctx.Obs()
 	var err error
 	for i, l := range n.Layers {
+		start := layerStart(reg)
 		x, err = l.Forward(ctx, ts, fmt.Sprintf("%s/l%d", session, i), x)
 		if err != nil {
 			return sharing.Bundle{}, fmt.Errorf("nn: secure layer %d: %w", i, err)
 		}
+		layerObserve(reg, "forward", i, start)
 	}
 	return x, nil
+}
+
+// layerStart returns a layer-phase start time, or the zero time when
+// metrics are off so the hot path skips both the clock read and the
+// name formatting.
+func layerStart(reg *obs.Registry) time.Time {
+	if reg == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// layerObserve records one per-layer phase duration.
+func layerObserve(reg *obs.Registry, phase string, layer int, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	reg.Histogram(fmt.Sprintf("nn.l%d.%s", layer, phase)).Observe(time.Since(start))
 }
 
 // TrainBatch performs one secure SGD step: forward, softmax at the
@@ -436,16 +461,21 @@ func (n *SecureNetwork) TrainBatch(ctx *protocol.Ctx, ts TripleSource, session s
 		return fmt.Errorf("nn: loss gradient: %w", err)
 	}
 	grad := diff.Scale(ctx.Params.FromFloat(1.0 / float64(batch))).Truncate(ctx.Params.FracBits)
+	reg := ctx.Obs()
 	for i := len(n.Layers) - 1; i >= 0; i-- {
+		start := layerStart(reg)
 		grad, err = n.Layers[i].Backward(ctx, ts, fmt.Sprintf("%s/b%d", session, i), grad)
 		if err != nil {
 			return fmt.Errorf("nn: secure layer %d backward: %w", i, err)
 		}
+		layerObserve(reg, "backward", i, start)
 	}
 	for i, l := range n.Layers {
+		start := layerStart(reg)
 		if err := l.Update(ctx.Params, lr); err != nil {
 			return fmt.Errorf("nn: secure layer %d update: %w", i, err)
 		}
+		layerObserve(reg, "update", i, start)
 	}
 	return nil
 }

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Handler serves the registry's JSON snapshot. Safe with a nil
+// registry (serves an empty snapshot).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// publishOnce guards expvar.Publish, which panics on duplicate names
+// (tests and multi-cluster processes may build several muxes).
+var publishOnce sync.Once
+
+// registries tracks every registry exported through NewMux so the
+// expvar endpoint can render all of them.
+var (
+	registriesMu sync.Mutex
+	registries   []*Registry
+)
+
+func publishExpvar(r *Registry) {
+	if r == nil {
+		return
+	}
+	registriesMu.Lock()
+	for _, have := range registries {
+		if have == r {
+			registriesMu.Unlock()
+			return
+		}
+	}
+	registries = append(registries, r)
+	registriesMu.Unlock()
+	publishOnce.Do(func() {
+		expvar.Publish("trustddl", expvar.Func(func() any {
+			registriesMu.Lock()
+			defer registriesMu.Unlock()
+			out := make([]Snapshot, 0, len(registries))
+			for _, reg := range registries {
+				out = append(out, reg.Snapshot())
+			}
+			return out
+		}))
+	})
+}
+
+// NewMux builds the metrics mux: the JSON snapshot at /metrics (and
+// /), Go's expvar at /debug/vars, and the pprof profiles under
+// /debug/pprof/. The registry is also published under the "trustddl"
+// expvar so stock expvar scrapers see the same numbers.
+func NewMux(r *Registry) *http.ServeMux {
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/", Handler(r))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running metrics listener.
+type Server struct {
+	// Addr is the bound address (useful with ":0" listen requests).
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts an HTTP listener on addr exposing NewMux(r). It returns
+// once the listener is bound, so the endpoint is scrapeable when Serve
+// returns; request handling continues in a background goroutine until
+// Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(r), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// Serve returns ErrServerClosed on Close; any other error means
+		// the listener died, which the process-level health checks (the
+		// endpoint stops answering) surface.
+		_ = srv.Serve(ln)
+	}()
+	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,370 @@
+// Package obs is TrustDDL's zero-dependency runtime metrics layer.
+//
+// A Registry is a named bag of counters, gauges and latency histograms.
+// Every collector is backed by atomic integers, so recording from the
+// protocol hot path costs one atomic op (histograms: three) and never
+// takes a lock; locks are only taken when a collector is first created
+// or when a snapshot is taken.
+//
+// The entire package is nil-safe: a nil *Registry hands out nil
+// collectors, and every collector method is a no-op on a nil receiver.
+// Instrumented code can therefore write
+//
+//	reg.Counter("core.train.batches").Inc()
+//
+// unconditionally — with observability disabled the chain costs two
+// nil checks and touches no shared state. Hot paths that want to avoid
+// even the name lookup cache the collector pointer once (see
+// transport.meter and protocol.Ctx).
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta. No-op on a nil receiver.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter. Zero on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta. No-op on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reads the gauge. Zero on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// numBuckets covers 1µs·2^k for k = 0..24 (1µs up to ~16.8s); slower
+// observations land in the implicit overflow bucket.
+const numBuckets = 25
+
+// bucketFloor is the lowest bucket's upper bound.
+const bucketFloor = time.Microsecond
+
+// Histogram is a latency histogram over exponentially-spaced duration
+// buckets (powers of two from 1µs to ~16.8s, plus an overflow bucket).
+// Observe performs three atomic adds and no allocation.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [numBuckets + 1]atomic.Int64
+}
+
+// bucketIndex maps a duration to its bucket: the smallest k with
+// d ≤ 1µs·2^k, or the overflow bucket.
+func bucketIndex(d time.Duration) int {
+	bound := bucketFloor
+	for i := 0; i < numBuckets; i++ {
+		if d <= bound {
+			return i
+		}
+		bound <<= 1
+	}
+	return numBuckets
+}
+
+// Observe records one duration. No-op on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+// Count reads the number of observations. Zero on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reads the total observed time. Zero on a nil receiver.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Registry is a named collection of collectors. The zero value is not
+// usable; call NewRegistry. A nil *Registry is fully usable and records
+// nothing.
+type Registry struct {
+	name string
+
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry. The name labels snapshots
+// (e.g. the process or party it belongs to).
+func NewRegistry(name string) *Registry {
+	return &Registry{
+		name:       name,
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Name reports the registry's label. Empty on a nil receiver.
+func (r *Registry) Name() string {
+	if r == nil {
+		return ""
+	}
+	return r.name
+}
+
+// Counter returns the named counter, creating it on first use. Nil on
+// a nil receiver.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil on a
+// nil receiver.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. Nil
+// on a nil receiver.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.histograms[name] = h
+	return h
+}
+
+// Time records the elapsed time since start into the named histogram.
+// Intended for defer-free phase timing:
+//
+//	t := time.Now()
+//	... phase ...
+//	reg.Time("protocol.phase.commit", t)
+func (r *Registry) Time(name string, start time.Time) {
+	if r == nil {
+		return
+	}
+	r.Histogram(name).Observe(time.Since(start))
+}
+
+// BucketSnapshot is one histogram bucket in a snapshot.
+type BucketSnapshot struct {
+	// UpperNanos is the bucket's inclusive upper bound in nanoseconds;
+	// 0 marks the overflow bucket.
+	UpperNanos int64 `json:"upper_ns"`
+	Count      int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram.
+type HistogramSnapshot struct {
+	Count    int64            `json:"count"`
+	SumNanos int64            `json:"sum_ns"`
+	Buckets  []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// MeanNanos is the average observation, or 0 when empty.
+func (h HistogramSnapshot) MeanNanos() int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.SumNanos / h.Count
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) in nanoseconds by
+// linear interpolation within the containing bucket.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var seen float64
+	last := int64(0)
+	for _, b := range h.Buckets {
+		// Buckets are powers of two, so a bucket's lower bound is half
+		// its upper bound (the snapshot omits empty buckets, so the
+		// previous entry's bound cannot be used).
+		upper := b.UpperNanos
+		if upper == 0 { // overflow bucket: no finite upper bound
+			upper = 2 * int64(bucketFloor<<(numBuckets-1))
+		}
+		lower := upper / 2
+		if lower == int64(bucketFloor)/2 {
+			lower = 0 // first bucket starts at zero
+		}
+		if seen+float64(b.Count) >= rank {
+			frac := (rank - seen) / float64(b.Count)
+			return lower + int64(frac*float64(upper-lower))
+		}
+		seen += float64(b.Count)
+		last = upper
+	}
+	return last
+}
+
+// Snapshot is a point-in-time copy of a registry, shaped for JSON.
+type Snapshot struct {
+	Name       string                       `json:"name"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every collector's current value. On a nil receiver
+// it returns an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Name:       r.name,
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{Count: h.count.Load(), SumNanos: h.sum.Load()}
+		bound := bucketFloor
+		for i := 0; i <= numBuckets; i++ {
+			n := h.buckets[i].Load()
+			if n != 0 {
+				upper := int64(bound)
+				if i == numBuckets {
+					upper = 0 // overflow
+				}
+				hs.Buckets = append(hs.Buckets, BucketSnapshot{UpperNanos: upper, Count: n})
+			}
+			bound <<= 1
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// CounterNames lists the registry's counter names, sorted. Useful for
+// stable test assertions and the DESIGN.md catalog.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

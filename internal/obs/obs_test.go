@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryNoOps pins the nil-safety contract instrumented code
+// relies on: every operation on a nil registry (and the nil collectors
+// it hands out) is a no-op, never a panic.
+func TestNilRegistryNoOps(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(5)
+	r.Gauge("y").Set(3)
+	r.Gauge("y").Add(-1)
+	r.Histogram("z").Observe(time.Millisecond)
+	r.Time("z", time.Now())
+	if v := r.Counter("x").Value(); v != 0 {
+		t.Errorf("nil counter value = %d, want 0", v)
+	}
+	if v := r.Gauge("y").Value(); v != 0 {
+		t.Errorf("nil gauge value = %d, want 0", v)
+	}
+	if s := r.Snapshot(); s.Name != "" || len(s.Counters) != 0 {
+		t.Errorf("nil snapshot = %+v, want empty", s)
+	}
+	if names := r.CounterNames(); names != nil {
+		t.Errorf("nil CounterNames = %v, want nil", names)
+	}
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	r := NewRegistry("t")
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Errorf("counter = %d, want 42", c.Value())
+	}
+	if r.Counter("a") != c {
+		t.Error("Counter is not get-or-create: second lookup returned a new collector")
+	}
+	g := r.Gauge("b")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Value())
+	}
+	snap := r.Snapshot()
+	if snap.Counters["a"] != 42 || snap.Gauges["b"] != 5 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+// TestHistogramBuckets pins the power-of-two bucketing: an observation
+// lands in the smallest bucket whose upper bound is ≥ the duration, and
+// the snapshot lists only non-empty buckets.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry("t")
+	h := r.Histogram("lat")
+	h.Observe(500 * time.Nanosecond) // first bucket (≤ 1µs)
+	h.Observe(time.Microsecond)      // first bucket, inclusive bound
+	h.Observe(3 * time.Microsecond)  // ≤ 4µs bucket
+	h.Observe(time.Hour)             // overflow
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	hs := r.Snapshot().Histograms["lat"]
+	if hs.Count != 4 {
+		t.Fatalf("snapshot count = %d, want 4", hs.Count)
+	}
+	want := []BucketSnapshot{
+		{UpperNanos: 1000, Count: 2},
+		{UpperNanos: 4000, Count: 1},
+		{UpperNanos: 0, Count: 1}, // overflow marker
+	}
+	if len(hs.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", hs.Buckets, want)
+	}
+	for i, b := range hs.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+	wantSum := (500 + 1000 + 3000 + time.Hour.Nanoseconds())
+	if hs.SumNanos != wantSum {
+		t.Errorf("sum = %d, want %d", hs.SumNanos, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry("t")
+	h := r.Histogram("lat")
+	for i := 0; i < 100; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	hs := r.Snapshot().Histograms["lat"]
+	// All mass sits in the (8µs, 16µs] bucket; any quantile must land
+	// inside it.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := hs.Quantile(q)
+		if got < 8_000 || got > 16_000 {
+			t.Errorf("Quantile(%g) = %d ns, want within (8000, 16000]", q, got)
+		}
+	}
+	if hs.MeanNanos() != 10_000 {
+		t.Errorf("mean = %d, want 10000", hs.MeanNanos())
+	}
+	if (HistogramSnapshot{}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+}
+
+// TestRegistryConcurrency exercises get-or-create and updates from many
+// goroutines; run under -race this is the layer's thread-safety proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry("t")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Set(int64(j))
+				r.Histogram("h").Observe(time.Duration(j) * time.Microsecond)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("shared").Value(); v != 8000 {
+		t.Errorf("counter = %d, want 8000", v)
+	}
+	if c := r.Histogram("h").Count(); c != 8000 {
+		t.Errorf("histogram count = %d, want 8000", c)
+	}
+}
+
+// TestMuxEndpoints drives the full HTTP surface against an httptest
+// server: the JSON snapshot, expvar, and pprof index.
+func TestMuxEndpoints(t *testing.T) {
+	r := NewRegistry("web")
+	r.Counter("hits").Add(3)
+	srv := httptest.NewServer(NewMux(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Name != "web" || snap.Counters["hits"] != 3 {
+		t.Errorf("served snapshot = %+v", snap)
+	}
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %s", path, resp.Status)
+		}
+	}
+
+	// Building more muxes (same or new registries) must not panic on
+	// the process-global expvar publication.
+	_ = NewMux(r)
+	_ = NewMux(NewRegistry("web2"))
+}
+
+// TestServeAndClose binds an ephemeral listener and exercises the
+// serve/close lifecycle, including the nil-server Close convenience.
+func TestServeAndClose(t *testing.T) {
+	r := NewRegistry("srv")
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}

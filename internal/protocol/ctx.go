@@ -10,9 +10,11 @@ package protocol
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/trustddl/trustddl/internal/commit"
 	"github.com/trustddl/trustddl/internal/fixed"
+	"github.com/trustddl/trustddl/internal/obs"
 	"github.com/trustddl/trustddl/internal/party"
 	"github.com/trustddl/trustddl/internal/sharing"
 	"github.com/trustddl/trustddl/internal/suspicion"
@@ -75,6 +77,18 @@ type Ctx struct {
 	// ring units) when scoring decision-rule deviations for the ledger
 	// (0 selects DefaultSuspicionTolerance).
 	SuspicionTolerance float64
+
+	// obs and the cached collectors below carry the live metrics hook
+	// (SetObs). They are looked up once at attach time so the per-round
+	// cost with metrics on is a clock read plus an atomic histogram
+	// update, and with metrics off a single nil check.
+	obs            *obs.Registry
+	obsCommit      *obs.Histogram
+	obsExchange    *obs.Histogram
+	obsReconstruct *obs.Histogram
+	obsDecide      *obs.Histogram
+	obsExchanges   *obs.Counter
+	obsFlags       *obs.Counter
 }
 
 // DefaultSuspicionTolerance matches the owner service's default: honest
@@ -96,6 +110,42 @@ func NewCtx(r *party.Router, index int, params fixed.Params, commitment bool) (*
 		return nil, fmt.Errorf("protocol: party index %d out of range", index)
 	}
 	return &Ctx{Router: r, Index: index, Params: params, Commitment: commitment}, nil
+}
+
+// SetObs attaches a metrics registry to this party context. Protocol
+// rounds then record per-phase wall time (protocol.phase.commit /
+// .exchange / .reconstruct / .decide histograms), exchange counts and
+// newly raised flags. A nil registry detaches.
+func (ctx *Ctx) SetObs(reg *obs.Registry) {
+	ctx.obs = reg
+	ctx.obsCommit = reg.Histogram("protocol.phase.commit")
+	ctx.obsExchange = reg.Histogram("protocol.phase.exchange")
+	ctx.obsReconstruct = reg.Histogram("protocol.phase.reconstruct")
+	ctx.obsDecide = reg.Histogram("protocol.phase.decide")
+	ctx.obsExchanges = reg.Counter("protocol.exchanges")
+	ctx.obsFlags = reg.Counter("protocol.flags")
+}
+
+// Obs returns the attached metrics registry (nil when detached). Layer
+// code running on top of a Ctx (internal/nn) records into the same
+// registry through it.
+func (ctx *Ctx) Obs() *obs.Registry { return ctx.obs }
+
+// obsStart returns a phase start time, or the zero time when metrics
+// are detached so hot paths skip the clock read entirely.
+func (ctx *Ctx) obsStart() time.Time {
+	if ctx.obs == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// obsPhase records one phase duration when metrics are attached.
+func (ctx *Ctx) obsPhase(h *obs.Histogram, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(start))
 }
 
 // Peers lists the other two computing parties.
@@ -150,6 +200,7 @@ func (ctx *Ctx) exchangeBundles(session, step string, bundles []sharing.Bundle) 
 	if ctx.Optimistic {
 		return ctx.exchangeOptimistic(session, step, bundles)
 	}
+	ctx.obsExchanges.Inc()
 	var res exchangeResult
 	peers := ctx.Peers()
 
@@ -181,6 +232,7 @@ func (ctx *Ctx) exchangeBundles(session, step string, bundles []sharing.Bundle) 
 	var digests [sharing.NumParties + 1]commit.Digest
 	var haveDigest [sharing.NumParties + 1]bool
 	if ctx.Commitment {
+		commitStart := ctx.obsStart()
 		// Commit round: hash of the full share vector (§III-B, lines
 		// 3–8 of Algorithm 4).
 		d := commit.Matrices(flattenBundles(own)...)
@@ -201,9 +253,11 @@ func (ctx *Ctx) exchangeBundles(session, step string, bundles []sharing.Bundle) 
 			copy(digests[p][:], msg.Payload)
 			haveDigest[p] = true
 		}
+		ctx.obsPhase(ctx.obsCommit, commitStart)
 	}
 
 	// Open round (lines 9–14).
+	openStart := ctx.obsStart()
 	for _, p := range peers {
 		toSend := own
 		if ctx.Adversary != nil {
@@ -259,6 +313,7 @@ func (ctx *Ctx) exchangeBundles(session, step string, bundles []sharing.Bundle) 
 		}
 		res.bundles[p] = bs
 	}
+	ctx.obsPhase(ctx.obsExchange, openStart)
 
 	// Merge with prior convictions and persist new ones.
 	for p := 1; p <= sharing.NumParties; p++ {
@@ -266,6 +321,7 @@ func (ctx *Ctx) exchangeBundles(session, step string, bundles []sharing.Bundle) 
 			res.flagged[p] = true
 		} else if res.flagged[p] {
 			ctx.Flagged[p] = true
+			ctx.obsFlags.Inc()
 		}
 	}
 	return res, nil

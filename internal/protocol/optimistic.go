@@ -46,6 +46,7 @@ import (
 const DefaultOptimisticTolerance = 64
 
 func (ctx *Ctx) exchangeOptimistic(session, step string, bundles []sharing.Bundle) (exchangeResult, error) {
+	ctx.obsExchanges.Inc()
 	var res exchangeResult
 	peers := ctx.Peers()
 	tol := ctx.OptimisticTolerance
@@ -81,6 +82,7 @@ func (ctx *Ctx) exchangeOptimistic(session, step string, bundles []sharing.Bundl
 	var digests [sharing.NumParties + 1][2]commit.Digest
 	var haveDigest [sharing.NumParties + 1]bool
 	if ctx.Commitment {
+		commitStart := ctx.obsStart()
 		dPartial := commit.Matrices(partialMats(own)...)
 		dHats := commit.Matrices(hatMats(own)...)
 		payload := append(append([]byte(nil), dPartial[:]...), dHats[:]...)
@@ -101,9 +103,11 @@ func (ctx *Ctx) exchangeOptimistic(session, step string, bundles []sharing.Bundl
 			copy(digests[p][1][:], msg.Payload[commit.Size:])
 			haveDigest[p] = true
 		}
+		ctx.obsPhase(ctx.obsCommit, commitStart)
 	}
 
 	// Round 2: partial opening.
+	openStart := ctx.obsStart()
 	for _, p := range peers {
 		toSend := own
 		if ctx.Adversary != nil {
@@ -201,10 +205,12 @@ func (ctx *Ctx) exchangeOptimistic(session, step string, bundles []sharing.Bundl
 			accept = false
 		}
 	}
+	ctx.obsPhase(ctx.obsExchange, openStart)
 
 	if accept {
 		// Fast path: pick the minimum-distance candidate pair per
 		// bundle (all are within tolerance of each other).
+		decideStart := ctx.obsStart()
 		res.decided = make([]Mat, len(own))
 		for k := range own {
 			best, bestD := 0, math.Inf(1)
@@ -221,6 +227,7 @@ func (ctx *Ctx) exchangeOptimistic(session, step string, bundles []sharing.Bundl
 			}
 			res.decided[k] = candidates[k][best]
 		}
+		ctx.obsPhase(ctx.obsDecide, decideStart)
 		ctx.persistFlags(&res)
 		return res, nil
 	}
@@ -292,6 +299,7 @@ func (ctx *Ctx) persistFlags(res *exchangeResult) {
 			res.flagged[p] = true
 		} else if res.flagged[p] {
 			ctx.Flagged[p] = true
+			ctx.obsFlags.Inc()
 		}
 	}
 }

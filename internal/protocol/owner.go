@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/trustddl/trustddl/internal/obs"
 	"github.com/trustddl/trustddl/internal/sharing"
 	"github.com/trustddl/trustddl/internal/suspicion"
 	"github.com/trustddl/trustddl/internal/transport"
@@ -88,6 +89,10 @@ type OwnerService struct {
 	// the dealing dealer (single-stream legacy behavior). Set before
 	// Run starts.
 	Resharer *sharing.Dealer
+	// Obs, when non-nil, mirrors the service counters into the live
+	// metrics registry (owner.triples.dealt, owner.calls,
+	// owner.suspicions). Set before Run starts.
+	Obs *obs.Registry
 
 	mu      sync.Mutex
 	stats   OwnerStats
@@ -340,6 +345,7 @@ func (s *OwnerService) ensureDealt(reqs []TripleRequest) ([]*tripleEntry, error)
 			e := &tripleEntry{bundles: items[oi].Triple, aux: items[oi].Aux, isAux: items[oi].IsAux, dealtAt: now}
 			s.triples[key] = e
 			s.stats.TriplesDealt++
+			s.Obs.Counter("owner.triples.dealt").Inc()
 			entries[i] = e
 		}
 		s.mu.Unlock()
@@ -487,6 +493,7 @@ func (s *OwnerService) finishGather(session string, g *gatherEntry) error {
 		s.mu.Lock()
 		s.stats.Suspicions[suspect]++
 		s.mu.Unlock()
+		s.Obs.Counter("owner.suspicions").Inc()
 		// Only a present-but-deviating party earns attributable evidence;
 		// an absent one was already recorded as a (circumstantial) gather
 		// timeout — its zero-filled placeholder trivially deviates.
@@ -518,6 +525,7 @@ func (s *OwnerService) finishGather(session string, g *gatherEntry) error {
 		s.mu.Lock()
 		s.stats.Calls++
 		s.mu.Unlock()
+		s.Obs.Counter("owner.calls").Inc()
 		resharer := s.Resharer
 		if resharer == nil {
 			resharer = s.dealer

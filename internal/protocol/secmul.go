@@ -71,6 +71,7 @@ func secMulBT(ctx *Ctx, session string, x, y sharing.Bundle, triple sharing.Trip
 		eVal, fVal = res.decided[0], res.decided[1]
 	} else {
 		// Lines 15–19: the six reconstructions for e and for f.
+		recStart := ctx.obsStart()
 		recE, err := ctx.reconstructionsFor(res, 0)
 		if err != nil {
 			return sharing.Bundle{}, err
@@ -79,11 +80,14 @@ func secMulBT(ctx *Ctx, session string, x, y sharing.Bundle, triple sharing.Trip
 		if err != nil {
 			return sharing.Bundle{}, err
 		}
+		ctx.obsPhase(ctx.obsReconstruct, recStart)
 		// Line 20: joint minimum-distance decision for (e, f).
+		decideStart := ctx.obsStart()
 		vals, _, err := decideJoint(recE, recF)
 		if err != nil {
 			return sharing.Bundle{}, fmt.Errorf("protocol: SecMulBT decide: %w", err)
 		}
+		ctx.obsPhase(ctx.obsDecide, decideStart)
 		eVal, fVal = vals[0], vals[1]
 		ctx.recordDeviations(session, "ef", res, []*sharing.Reconstructions{recE, recF}, vals)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/trustddl/trustddl/internal/fixed"
+	"github.com/trustddl/trustddl/internal/obs"
 	"github.com/trustddl/trustddl/internal/tensor"
 )
 
@@ -20,12 +21,24 @@ import (
 type Dealer struct {
 	src    Source
 	params fixed.Params
+
+	// saturations counts owner-side float encodings that had to clamp
+	// to the ring bounds (NaN, ±Inf, overflow) — a rogue gradient or
+	// loss is a trainability signal, not a silent corruption. Nil when
+	// no registry is attached.
+	saturations *obs.Counter
 }
 
 // NewDealer returns a dealer drawing share randomness from src and
 // encoding reals with params.
 func NewDealer(src Source, params fixed.Params) *Dealer {
 	return &Dealer{src: src, params: params}
+}
+
+// SetObs attaches a metrics registry: ShareFloats then counts clamped
+// encodings under fixed.saturations. A nil registry detaches.
+func (d *Dealer) SetObs(reg *obs.Registry) {
+	d.saturations = reg.Counter("fixed.saturations")
 }
 
 // Params exposes the dealer's fixed-point configuration.
@@ -58,10 +71,17 @@ func (d *Dealer) Share(s Mat) ([NumParties]Bundle, error) {
 }
 
 // ShareFloats encodes a float64 matrix into the ring and shares it.
+// Values the ring cannot represent (NaN, ±Inf, overflow) are clamped
+// deterministically by the checked encoder and counted when a metrics
+// registry is attached (SetObs).
 func (d *Dealer) ShareFloats(m tensor.Matrix[float64]) ([NumParties]Bundle, error) {
 	enc := tensor.Matrix[int64]{Rows: m.Rows, Cols: m.Cols, Data: make([]int64, m.Size())}
 	for i, v := range m.Data {
-		enc.Data[i] = d.params.FromFloat(v)
+		e, exact := d.params.FromFloatChecked(v)
+		if !exact {
+			d.saturations.Inc()
+		}
+		enc.Data[i] = e
 	}
 	return d.Share(enc)
 }

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"github.com/trustddl/trustddl/internal/obs"
 )
 
 // Kind labels the detection site that produced a piece of evidence.
@@ -104,6 +106,7 @@ type Ledger struct {
 	mu        sync.Mutex
 	threshold int
 	recs      map[ledgerKey]*Evidence
+	obs       *obs.Registry
 }
 
 type ledgerKey struct {
@@ -128,6 +131,18 @@ func (l *Ledger) Threshold() int {
 	return l.threshold
 }
 
+// SetObs attaches a metrics registry: every Record bumps a per-kind
+// suspicion.evidence.<kind> counter and refreshes the
+// suspicion.convicted gauge. A nil registry detaches.
+func (l *Ledger) SetObs(reg *obs.Registry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.obs = reg
+}
+
 // Record notes one observation of kind against party. The first
 // observation pins session and step; later ones only bump the count.
 func (l *Ledger) Record(party int, kind Kind, session, step string) {
@@ -135,13 +150,18 @@ func (l *Ledger) Record(party int, kind Kind, session, step string) {
 		return
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	reg := l.obs
 	key := ledgerKey{party: party, kind: kind}
 	if rec, ok := l.recs[key]; ok {
 		rec.Count++
-		return
+	} else {
+		l.recs[key] = &Evidence{Party: party, Kind: kind, Session: session, Step: step, Count: 1}
 	}
-	l.recs[key] = &Evidence{Party: party, Kind: kind, Session: session, Step: step, Count: 1}
+	l.mu.Unlock()
+	if reg != nil {
+		reg.Counter("suspicion.evidence." + string(kind)).Inc()
+		reg.Gauge("suspicion.convicted").Set(int64(len(l.Convicted())))
+	}
 }
 
 // Evidence returns a copy of every record, sorted by party then kind.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/trustddl/trustddl/internal/obs"
 )
 
 // ChanNetwork is the in-process transport: every actor owns a buffered
@@ -81,6 +83,10 @@ func (n *ChanNetwork) Endpoint(actor int) (Endpoint, error) {
 	n.claimed[actor] = true
 	return &chanEndpoint{net: n, self: actor, done: make(chan struct{})}, nil
 }
+
+// SetObs mirrors the traffic meter into reg's counters (see
+// meter.setObs); nil detaches.
+func (n *ChanNetwork) SetObs(reg *obs.Registry) { n.meter.setObs(reg) }
 
 // Stats implements Network.
 func (n *ChanNetwork) Stats() Stats { return n.meter.snapshot() }

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/trustddl/trustddl/internal/obs"
 )
 
 // TCPNetwork is the distributed transport: each actor listens on its
@@ -226,6 +228,10 @@ func (n *TCPNetwork) Endpoint(actor int) (Endpoint, error) {
 
 // Stats implements Network.
 func (n *TCPNetwork) Stats() Stats { return n.meter.snapshot() }
+
+// SetObs mirrors the traffic meter into reg's counters (see
+// meter.setObs); nil detaches.
+func (n *TCPNetwork) SetObs(reg *obs.Registry) { n.meter.setObs(reg) }
 
 // ResetStats implements Network.
 func (n *TCPNetwork) ResetStats() { n.meter.reset() }

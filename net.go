@@ -20,6 +20,8 @@ const (
 	Party3     = transport.Party3
 	ModelOwner = transport.ModelOwner
 	DataOwner  = transport.DataOwner
+	// NumActors is the mesh size (three parties plus the two owners).
+	NumActors = transport.NumActors
 )
 
 // NewChanNetwork creates the in-process transport (goroutine parties;

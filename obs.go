@@ -1,0 +1,33 @@
+package trustddl
+
+import "github.com/trustddl/trustddl/internal/obs"
+
+// Live observability surface (internal/obs): a zero-dependency metrics
+// registry every subsystem reports into, plus an HTTP listener serving
+// the JSON snapshot, expvar and pprof. Attach a registry to a cluster
+// via Config.Obs, or to a standalone party via the binaries'
+// -metrics-addr flag.
+
+// ObsRegistry is a named collection of counters, gauges and latency
+// histograms. All methods are safe on a nil registry (no-ops), so
+// instrumented code needs no conditionals.
+type ObsRegistry = obs.Registry
+
+// ObsSnapshot is a point-in-time copy of a registry's state, as served
+// by the /metrics endpoint.
+type ObsSnapshot = obs.Snapshot
+
+// ObsHistogramSnapshot is one latency histogram inside a snapshot.
+type ObsHistogramSnapshot = obs.HistogramSnapshot
+
+// ObsServer is a running metrics HTTP listener.
+type ObsServer = obs.Server
+
+// NewObsRegistry creates a registry; the name labels the snapshot (use
+// the process role, e.g. "party1" or "driver").
+func NewObsRegistry(name string) *ObsRegistry { return obs.NewRegistry(name) }
+
+// ServeMetrics starts an HTTP listener on addr exposing the registry:
+// JSON snapshot at /metrics, Go expvar at /debug/vars and profiling
+// under /debug/pprof/. Close the returned server when done.
+func ServeMetrics(addr string, r *ObsRegistry) (*ObsServer, error) { return obs.Serve(addr, r) }
