@@ -47,6 +47,11 @@ func PaperArch() Arch { return nn.PaperArch() }
 // Mat64 is a plaintext float64 matrix (weights, activations).
 type Mat64 = nn.Mat64
 
+// MatInt is a raw fixed-point ring matrix (int64 shares and revealed
+// ring values, e.g. Run.LogitsBatch). Decode to floats with
+// Params.ToFloat.
+type MatInt = tensor.Matrix[int64]
+
 // SaveModel persists an architecture and its plaintext weights (the
 // model owner's artifact) to a single versioned file.
 func SaveModel(path string, arch Arch, weights []Mat64) error {

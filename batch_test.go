@@ -1,0 +1,254 @@
+// Cluster-level tests of the batched secure engine: a batch-N pass
+// through the full deployment (data owner sharing, three parties,
+// model-owner dealing and reveal) must agree with N sequential
+// single-image passes, stay deterministic across identical
+// deployments, survive a consistent liar, and consume a prefetched
+// triple stream that does not drift when the batch size varies
+// mid-session.
+package trustddl_test
+
+import (
+	"math"
+	"testing"
+
+	trustddl "github.com/trustddl/trustddl"
+	"github.com/trustddl/trustddl/internal/nn"
+)
+
+// batchCluster builds a fresh malicious-mode cluster with Table I
+// weights and fixed seeds. Identical calls build bit-identical
+// deployments: every random draw (weights, share randomness, triples)
+// comes from the seeds.
+func batchCluster(t *testing.T, adversaries map[int]trustddl.Adversary) *trustddl.Run {
+	t.Helper()
+	cluster, err := trustddl.New(trustddl.Config{
+		Mode:        trustddl.Malicious,
+		Seed:        23,
+		Adversaries: adversaries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cluster.Close() })
+	w, err := trustddl.InitPaperWeights(23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := cluster.NewRun(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// logitEnvelopeUlps bounds how far a batched logit may sit from its
+// single-image counterpart when the two passes consume *independent*
+// correlated randomness: every truncating protocol step contributes
+// ±1–2 carry ulps that then propagate through the remaining layers.
+// (Bit-identity under shared row-stable randomness is pinned separately
+// in internal/nn and internal/sharing.)
+const logitEnvelopeUlps = 256
+
+// batchSizes is the acceptance grid of the batched engine.
+var batchSizes = []int{1, 3, 8, 32}
+
+// TestBatchInferMatchesSequential runs the full grid: batched labels
+// must equal the per-image labels, and every batched logit must sit
+// within the carry envelope of its sequential counterpart.
+func TestBatchInferMatchesSequential(t *testing.T) {
+	run := batchCluster(t, nil)
+	ds := trustddl.SyntheticDataset(23, 32)
+	for _, n := range batchSizes {
+		images := ds.Images[:n]
+		batchLabels, err := run.InferBatch(images)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchLogits, err := run.LogitsBatch(images)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batchLabels) != n || batchLogits.Rows != n {
+			t.Fatalf("batch %d: %d labels, %d logit rows", n, len(batchLabels), batchLogits.Rows)
+		}
+		for r, img := range images {
+			label, err := run.Infer(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batchLabels[r] != label {
+				t.Fatalf("batch %d image %d: batched label %d, sequential %d", n, r, batchLabels[r], label)
+			}
+			single, err := run.LogitsBatch(images[r : r+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := 0; c < batchLogits.Cols; c++ {
+				d := math.Abs(float64(batchLogits.At(r, c) - single.At(0, c)))
+				if d > logitEnvelopeUlps {
+					t.Fatalf("batch %d image %d logit %d: batched %d vs sequential %d (|Δ|=%g ulps, envelope %d)",
+						n, r, c, batchLogits.At(r, c), single.At(0, c), d, logitEnvelopeUlps)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchInferDeterministic pins that the batched pass is a pure
+// function of the seeds: two identical deployments reveal bit-identical
+// batch logits.
+func TestBatchInferDeterministic(t *testing.T) {
+	ds := trustddl.SyntheticDataset(23, 8)
+	a := batchCluster(t, nil)
+	la, err := a.LogitsBatch(ds.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := batchCluster(t, nil)
+	lb, err := b.LogitsBatch(ds.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range la.Data {
+		if la.Data[i] != lb.Data[i] {
+			t.Fatalf("logit element %d: %d vs %d across identical deployments", i, la.Data[i], lb.Data[i])
+		}
+	}
+}
+
+// TestBatchInferUnderConsistentLiar reruns the batched pass on a
+// deployment whose party 1 corrupts every share it commits to (Case 3,
+// the adversary invisible to the hash check): the decision rule must
+// discard the liar, keeping every label and leaving each revealed
+// logit within the truncation-carry slack of the honest deployment's.
+// (Exact bit-identity across the two deployments is not the contract:
+// the corruption excludes the canonical reconstruction pair, and the
+// next honest candidate may differ by a carry ulp.)
+func TestBatchInferUnderConsistentLiar(t *testing.T) {
+	ds := trustddl.SyntheticDataset(23, 8)
+	honest := batchCluster(t, nil)
+	want, err := honest.LogitsBatch(ds.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLabels, err := honest.InferBatch(ds.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byz := batchCluster(t, map[int]trustddl.Adversary{1: trustddl.ConsistentLiar{}})
+	got, err := byz.LogitsBatch(ds.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLabels, err := byz.InferBatch(ds.Images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if d := math.Abs(float64(got.Data[i] - want.Data[i])); d > 2 {
+			t.Fatalf("logit element %d: %d under liar vs %d honest (|Δ|=%g exceeds the carry slack; the decision rule must discard the liar)",
+				i, got.Data[i], want.Data[i], d)
+		}
+	}
+	for i := range wantLabels {
+		if gotLabels[i] != wantLabels[i] {
+			t.Fatalf("image %d: label %d under liar vs %d honest", i, gotLabels[i], wantLabels[i])
+		}
+	}
+}
+
+// mixedBatchRun drives a session whose batch size changes between
+// steps — the shape every serving deployment produces under dynamic
+// batching — on a fresh cluster with the given prefetch depth, and
+// returns the final weights plus all predicted labels.
+func mixedBatchRun(t *testing.T, depth int) ([]nn.Mat64, []int) {
+	t.Helper()
+	cluster, err := trustddl.New(trustddl.Config{
+		Mode:          trustddl.HonestButCurious,
+		Triples:       trustddl.OnlineDealing,
+		Seed:          29,
+		PrefetchDepth: depth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cluster.Close() }()
+	w, err := trustddl.InitPaperWeights(29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := cluster.NewRun(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := trustddl.SyntheticDataset(29, 10)
+	var labels []int
+	step := func(op func() ([]int, error)) {
+		t.Helper()
+		got, err := op()
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels = append(labels, got...)
+	}
+	// Train and infer with four different batch sizes, interleaved, so
+	// every step's triple plan has different shapes than its neighbors'.
+	if err := run.TrainBatch(ds.Images[:2], 0.1); err != nil {
+		t.Fatal(err)
+	}
+	step(func() ([]int, error) { return run.InferBatch(ds.Images[2:5]) })
+	if err := run.TrainBatch(ds.Images[5:6], 0.1); err != nil {
+		t.Fatal(err)
+	}
+	step(func() ([]int, error) { return run.InferBatch(ds.Images[6:10]) })
+	step(func() ([]int, error) {
+		label, err := run.Infer(ds.Images[0])
+		return []int{label}, err
+	})
+	weights, err := run.WeightMatrices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return weights, labels
+}
+
+// TestBatchedPrefetchStableAcrossBatchSizes is the prefetch pinning for
+// batched plans: when the batch size varies mid-session, the pipelined
+// triple stream must stay bit-identical to on-demand dealing at every
+// depth — a depth that straddles step boundaries must not let one
+// step's plan segments bleed into the next step's dealing order.
+func TestBatchedPrefetchStableAcrossBatchSizes(t *testing.T) {
+	type outcome struct {
+		depth   int
+		weights []nn.Mat64
+		labels  []int
+	}
+	ref := outcome{depth: -1}
+	ref.weights, ref.labels = mixedBatchRun(t, -1) // forced on-demand dealing
+	for _, depth := range []int{3, 32} {
+		weights, labels := mixedBatchRun(t, depth)
+		if len(labels) != len(ref.labels) {
+			t.Fatalf("depth %d: %d labels, on-demand %d", depth, len(labels), len(ref.labels))
+		}
+		for i := range labels {
+			if labels[i] != ref.labels[i] {
+				t.Fatalf("depth %d image %d: label %d, on-demand %d", depth, i, labels[i], ref.labels[i])
+			}
+		}
+		if len(weights) != len(ref.weights) {
+			t.Fatalf("depth %d: %d weight matrices, on-demand %d", depth, len(weights), len(ref.weights))
+		}
+		for wi := range weights {
+			a, b := weights[wi], ref.weights[wi]
+			if a.Rows != b.Rows || a.Cols != b.Cols {
+				t.Fatalf("depth %d weight %d: shape %dx%d vs %dx%d", depth, wi, a.Rows, a.Cols, b.Rows, b.Cols)
+			}
+			for i := range a.Data {
+				if a.Data[i] != b.Data[i] {
+					t.Fatalf("depth %d weight %d element %d: %v, on-demand %v (triple stream drifted)",
+						depth, wi, i, a.Data[i], b.Data[i])
+				}
+			}
+		}
+	}
+}

@@ -58,6 +58,27 @@ func FormatTriples(cfg TriplesConfig, rows []TriplesRow) string {
 	return bench.FormatTriples(cfg, rows)
 }
 
+// ServeConfig parameterizes the serving measurement: the Table I
+// network behind the trustddl-serve gateway, measured once per
+// dynamic-batch limit.
+type ServeConfig = bench.ServeConfig
+
+// ServeRow is one measured gateway batch limit.
+type ServeRow = bench.ServeRow
+
+// ServeBench measures how the inference gateway's dynamic batching
+// amortizes protocol rounds: owner-bound messages per image, engine
+// latency per image, and end-to-end percentiles under concurrent load.
+func ServeBench(cfg ServeConfig) ([]ServeRow, error) { return bench.Serve(cfg) }
+
+// WriteServeJSON persists a ServeBench measurement (BENCH_serve.json).
+func WriteServeJSON(path string, cfg ServeConfig, rows []ServeRow) error {
+	return bench.WriteServeJSON(path, cfg, rows)
+}
+
+// FormatServe renders a ServeBench measurement as a table.
+func FormatServe(rows []ServeRow) string { return bench.FormatServe(rows) }
+
 // ObsConfig parameterizes the observability benchmark: the secure
 // single-image workload with a live metrics registry attached, compared
 // against the identical uninstrumented run.

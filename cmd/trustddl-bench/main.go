@@ -7,6 +7,12 @@
 //
 //	trustddl-bench [-iters N] [-seed S] [-frameworks a,b,...] [-parallelism P] [-prefetch-depth N]
 //	               [-obs] [-obs-json PATH] [-metrics-addr HOST:PORT]
+//	               [-serve] [-serve-batches 1,2,4,8] [-serve-json PATH]
+//
+// With -serve the serving benchmark runs instead: the Table I network
+// behind the trustddl-serve gateway, measured once per dynamic-batch
+// limit — owner-bound protocol messages per image, engine latency per
+// image, and end-to-end percentiles under concurrent load.
 //
 // With -obs the observability benchmark runs instead: the secure
 // workload executes once without and once with a live metrics registry
@@ -20,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	trustddl "github.com/trustddl/trustddl"
@@ -42,10 +49,16 @@ func run(args []string) error {
 	obsRun := fs.Bool("obs", false, "run the observability benchmark (per-phase latency histograms + instrumentation overhead) instead of Table II")
 	obsJSON := fs.String("obs-json", "", "with -obs, also write the report to this file (e.g. BENCH_obs.json)")
 	metricsAddr := fs.String("metrics-addr", "", "with -obs, serve the live registry on this address while the benchmark runs")
+	serveRun := fs.Bool("serve", false, "run the serving benchmark (gateway batch amortization across -serve-batches) instead of Table II")
+	serveBatches := fs.String("serve-batches", "1,2,4,8", "with -serve, comma-separated gateway MaxBatch grid")
+	serveJSON := fs.String("serve-json", "", "with -serve, also write the report to this file (e.g. BENCH_serve.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *serveRun || *serveJSON != "" {
+		return runServe(*seed, *serveBatches, *serveJSON)
+	}
 	if *obsRun || *obsJSON != "" {
 		return runObs(*iters, *seed, *parallelism, *prefetchDepth, *obsJSON, *metricsAddr)
 	}
@@ -63,6 +76,34 @@ func run(args []string) error {
 	}
 	fmt.Print(trustddl.FormatTable2(rows))
 	fmt.Println("\nSee EXPERIMENTS.md for the paper-vs-measured comparison.")
+	return nil
+}
+
+// runServe drives the gateway batch-amortization benchmark.
+func runServe(seed uint64, batches, jsonPath string) error {
+	cfg := trustddl.ServeConfig{Seed: seed}
+	for _, tok := range strings.Split(batches, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || b <= 0 {
+			return fmt.Errorf("bad -serve-batches entry %q", tok)
+		}
+		cfg.Batches = append(cfg.Batches, b)
+	}
+
+	fmt.Println("TrustDDL serving benchmark (inference gateway, dynamic batching)")
+	fmt.Println("(Table I network, concurrent clients per row)")
+	fmt.Println()
+	rows, err := trustddl.ServeBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(trustddl.FormatServe(rows))
+	if jsonPath != "" {
+		if err := trustddl.WriteServeJSON(jsonPath, cfg, rows); err != nil {
+			return err
+		}
+		fmt.Printf("\nreport written to %s\n", jsonPath)
+	}
 	return nil
 }
 

@@ -1,0 +1,145 @@
+// Command trustddl-serve runs private inference as a long-lived HTTP
+// service: it loads a model (saved by trustddl-train -save, or fresh
+// Table I weights), secret-shares it across an in-process three-party
+// cluster, and classifies images POSTed by concurrent clients.
+//
+// Concurrent requests are coalesced into dynamic batches (-max-batch /
+// -max-delay), so one secure pass — one triple deal, one commitment
+// round, one reveal — serves the whole batch. Admission control is a
+// bounded queue (-queue); overflow is answered 429 + Retry-After
+// instead of buffered without bound. Latency quantiles, queue depth
+// and batch sizes are exported via -metrics-addr.
+//
+// Usage:
+//
+//	trustddl-serve [-addr 127.0.0.1:8088] [-max-batch 8] [-max-delay 2ms]
+//	               [-queue 256] [-metrics-addr :9090] [-model FILE]
+//	               [-seed 1] [-hbc] [-optimistic] [-prefetch-depth 0]
+//
+// API:
+//
+//	POST /infer    {"pixels":[...784 floats...]} → {"label":N}
+//	GET  /healthz  liveness probe
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	trustddl "github.com/trustddl/trustddl"
+	"github.com/trustddl/trustddl/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trustddl-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("trustddl-serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8088", "HTTP listen address for the inference API")
+	maxBatch := fs.Int("max-batch", 8, "max images coalesced into one secure pass")
+	maxDelay := fs.Duration("max-delay", 2*time.Millisecond, "max wait after a batch's first request for more to arrive")
+	queue := fs.Int("queue", 256, "admission queue bound; overflow is answered 429")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar and pprof on this address (empty: off)")
+	modelPath := fs.String("model", "", "model file saved by trustddl-train -save (empty: fresh Table I weights)")
+	seed := fs.Uint64("seed", 1, "deterministic seed")
+	hbc := fs.Bool("hbc", false, "honest-but-curious mode (no commitment phase)")
+	optimistic := fs.Bool("optimistic", false, "reduced-redundancy opening (§V future work)")
+	prefetch := fs.Int("prefetch-depth", 0, "triple pipeline depth (0 = default, -1 = on-demand dealing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		arch    trustddl.Arch
+		weights []trustddl.Mat64
+		err     error
+	)
+	if *modelPath != "" {
+		arch, weights, err = trustddl.LoadModel(*modelPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded model %s (%d layers, %d weight matrices)\n", *modelPath, len(arch), len(weights))
+	} else {
+		arch = trustddl.PaperArch()
+		pw, err := trustddl.InitPaperWeights(*seed)
+		if err != nil {
+			return err
+		}
+		weights = []trustddl.Mat64{pw.Conv, pw.FC1, pw.FC2}
+		fmt.Println("no -model given: using freshly initialized (untrained) Table I weights")
+	}
+
+	reg := trustddl.NewObsRegistry("serve")
+	cfg := trustddl.Config{
+		Mode:          trustddl.Malicious,
+		Seed:          *seed,
+		Optimistic:    *optimistic,
+		PrefetchDepth: *prefetch,
+		Obs:           reg,
+	}
+	if *hbc {
+		cfg.Mode = trustddl.HonestButCurious
+	}
+	cluster, err := trustddl.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	engine, err := cluster.NewRunArch(arch, weights)
+	if err != nil {
+		return err
+	}
+
+	gw := serve.New(engine, serve.Config{
+		MaxBatch:   *maxBatch,
+		MaxDelay:   *maxDelay,
+		QueueBound: *queue,
+		Obs:        reg,
+	})
+	defer gw.Close()
+
+	if *metricsAddr != "" {
+		ms, err := trustddl.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ms.Addr)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: gw.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("serving private inference on http://%s/infer (%s mode, max-batch %d, max-delay %s, queue %d)\n",
+		*addr, cfg.Mode, *maxBatch, *maxDelay, *queue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Printf("\n%s: draining and shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	return nil
+}

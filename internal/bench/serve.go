@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/core"
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/obs"
+	"github.com/trustddl/trustddl/internal/serve"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// The serving experiment: how the dynamic batcher amortizes protocol
+// rounds. A secure pass pays one triple deal, one commitment/exchange
+// sequence and one reveal regardless of how many images ride in its
+// leading batch dimension, so the model owner's message count per
+// image should fall ~1/B with the batch size — the whole reason
+// trustddl-serve coalesces concurrent requests.
+
+// ServeConfig parameterizes the serving measurement.
+type ServeConfig struct {
+	// Batches lists the gateway MaxBatch values to measure (default
+	// 1, 2, 4, 8).
+	Batches []int
+	// Clients is the number of concurrent load-generator clients
+	// driven at the gateway per row (default 16).
+	Clients int
+	// RequestsPerClient is how many sequential requests each client
+	// fires (default 3).
+	RequestsPerClient int
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Mode selects the adversary model (default HonestButCurious).
+	Mode core.Mode
+	// Latency is an optional injected one-way message latency widening
+	// the round-amortization gap (default 0: loopback).
+	Latency time.Duration
+}
+
+// ServeRow is one measured gateway batch limit.
+type ServeRow struct {
+	MaxBatch int `json:"max_batch"`
+	// OwnerMsgsPerImage is the engine-level measurement: messages the
+	// model owner receives for one exact batch-MaxBatch secure pass,
+	// divided by the batch size. This is the deterministic protocol
+	// count — no queue timing involved — and must fall as the batch
+	// grows.
+	OwnerMsgsPerImage float64 `json:"owner_msgs_per_image"`
+	// EngineMSPerImage is wall-clock milliseconds per image of that
+	// same exact-batch pass.
+	EngineMSPerImage float64 `json:"engine_ms_per_image"`
+	// The remaining fields measure the full gateway under concurrent
+	// load: served/rejected request counts, end-to-end latency
+	// percentiles, served images per second, and the mean batch size
+	// the dispatcher actually formed.
+	Served        int64   `json:"served"`
+	Rejected      int64   `json:"rejected"`
+	P50MS         float64 `json:"latency_p50_ms"`
+	P99MS         float64 `json:"latency_p99_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	MeanBatch     float64 `json:"mean_batch"`
+}
+
+func (cfg *ServeConfig) defaults() {
+	if len(cfg.Batches) == 0 {
+		cfg.Batches = []int{1, 2, 4, 8}
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 16
+	}
+	if cfg.RequestsPerClient <= 0 {
+		cfg.RequestsPerClient = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = core.HonestButCurious
+	}
+}
+
+// Serve measures the Table I network behind the inference gateway,
+// once per configured MaxBatch.
+func Serve(cfg ServeConfig) ([]ServeRow, error) {
+	cfg.defaults()
+	weights, err := nn.InitPaperWeights(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	maxBatch := 0
+	for _, b := range cfg.Batches {
+		if b > maxBatch {
+			maxBatch = b
+		}
+	}
+	images := mnist.Synthetic(cfg.Seed, maxBatch).Images
+
+	rows := make([]ServeRow, 0, len(cfg.Batches))
+	for _, b := range cfg.Batches {
+		row, err := measureServe(cfg, weights, images, b)
+		if err != nil {
+			return nil, fmt.Errorf("bench: max-batch %d: %w", b, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func measureServe(cfg ServeConfig, weights nn.PaperWeights, images []mnist.Image, batch int) (ServeRow, error) {
+	if batch <= 0 || batch > len(images) {
+		return ServeRow{}, fmt.Errorf("batch %d out of range", batch)
+	}
+	var net transport.Network = transport.NewChanNetwork()
+	if cfg.Latency > 0 {
+		net = transport.WithLatency(net, cfg.Latency)
+	}
+	cluster, err := core.New(core.Config{
+		Mode:    cfg.Mode,
+		Triples: core.OnlineDealing,
+		Net:     net,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return ServeRow{}, err
+	}
+	defer cluster.Close()
+	run, err := cluster.NewRun(weights)
+	if err != nil {
+		return ServeRow{}, err
+	}
+	// Warm-up outside every meter: first pass deals session-keyed
+	// randomness the steady state reuses the plan machinery for.
+	if _, err := run.InferBatch(images[:batch]); err != nil {
+		return ServeRow{}, err
+	}
+
+	row := ServeRow{MaxBatch: batch}
+
+	// Engine-level: one exact batch-B pass, metered.
+	cluster.ResetStats()
+	start := time.Now()
+	if _, err := run.InferBatch(images[:batch]); err != nil {
+		return ServeRow{}, err
+	}
+	row.EngineMSPerImage = time.Since(start).Seconds() * 1000 / float64(batch)
+	st := cluster.Stats()
+	row.OwnerMsgsPerImage = float64(st.PerActor[transport.ModelOwner].RecvMessages) / float64(batch)
+
+	// Gateway-level: concurrent clients through the HTTP handler and
+	// dynamic batcher.
+	reg := obs.NewRegistry("bench-serve")
+	g := serve.New(run, serve.Config{
+		MaxBatch:   batch,
+		MaxDelay:   2 * time.Millisecond,
+		QueueBound: 4 * cfg.Clients,
+		Obs:        reg,
+	})
+	srv := httptest.NewServer(g.Handler())
+	rep, err := serve.RunLoad(serve.LoadConfig{
+		URL:               srv.URL,
+		Images:            images[:batch],
+		Clients:           cfg.Clients,
+		RequestsPerClient: cfg.RequestsPerClient,
+	})
+	srv.Close()
+	g.Close()
+	if err != nil {
+		return ServeRow{}, err
+	}
+	if !rep.Accounted() {
+		return ServeRow{}, fmt.Errorf("load run lost requests: %+v", rep)
+	}
+	row.Served = rep.OK
+	row.Rejected = rep.Rejected
+	row.ThroughputRPS = rep.Throughput()
+	snap := reg.Snapshot()
+	lat := snap.Histograms["serve.latency"]
+	row.P50MS = float64(lat.Quantile(0.50)) / 1e6
+	row.P99MS = float64(lat.Quantile(0.99)) / 1e6
+	if batches := snap.Counters["serve.batches"]; batches > 0 {
+		row.MeanBatch = float64(snap.Counters["serve.images"]) / float64(batches)
+	}
+	return row, nil
+}
+
+// serveReport is the BENCH_serve.json schema.
+type serveReport struct {
+	Benchmark string     `json:"benchmark"`
+	Clients   int        `json:"clients"`
+	Requests  int        `json:"requests_per_client"`
+	LatencyMS float64    `json:"latency_ms"`
+	Rows      []ServeRow `json:"rows"`
+}
+
+// WriteServeJSON persists the measurement for trend tracking across
+// PRs (the BENCH_serve.json artifact).
+func WriteServeJSON(path string, cfg ServeConfig, rows []ServeRow) error {
+	cfg.defaults()
+	report := serveReport{
+		Benchmark: "inference gateway batch amortization (Table I network, dynamic batching)",
+		Clients:   cfg.Clients,
+		Requests:  cfg.RequestsPerClient,
+		LatencyMS: float64(cfg.Latency) / float64(time.Millisecond),
+		Rows:      rows,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// FormatServe renders the measurement as a table.
+func FormatServe(rows []ServeRow) string {
+	out := fmt.Sprintf("%-10s %18s %14s %10s %10s %12s %10s\n",
+		"MaxBatch", "Owner msgs/img", "Engine ms/img", "p50 (ms)", "p99 (ms)", "Images/s", "Batch avg")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-10d %18.2f %14.2f %10.1f %10.1f %12.1f %10.1f\n",
+			r.MaxBatch, r.OwnerMsgsPerImage, r.EngineMSPerImage, r.P50MS, r.P99MS, r.ThroughputRPS, r.MeanBatch)
+	}
+	return out
+}

@@ -335,7 +335,10 @@ func (c *Cluster) decideAtDataOwner(session, step string) (protocol.Mat, error) 
 	for _, p := range missing {
 		rec.FlagParty(p)
 	}
-	value, _, err := rec.Decide()
+	// Row-wise decision: the revealed matrix is (or may be) a batch of
+	// independent per-image results, and the per-row rule keeps each
+	// row's reveal independent of the other rows' truncation carries.
+	value, _, err := rec.DecideRows()
 	if err == nil {
 		suspect := rec.Suspect(value, c.dataTolerance())
 		suspectMissing := false
@@ -451,6 +454,32 @@ func (r *Run) Infer(img mnist.Image) (int, error) {
 		return 0, err
 	}
 	return argmaxRow(logits, 0), nil
+}
+
+// InferBatch classifies a batch of images through ONE secure forward
+// pass: the batch travels as the leading dimension of a single
+// contiguous share tensor, so every protocol round (triple deal,
+// commitment, exchange, vote, reveal) is paid once per batch instead of
+// once per image. Labels are returned in input order.
+func (r *Run) InferBatch(images []mnist.Image) ([]int, error) {
+	logits, err := r.logitsFor(images)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, logits.Rows)
+	for row := range labels {
+		labels[row] = argmaxRow(logits, row)
+	}
+	return labels, nil
+}
+
+// LogitsBatch runs the batched secure forward pass and returns the raw
+// fixed-point logits revealed to the data owner (one row per image).
+// It exposes the ring values so equivalence tests can pin the batched
+// path bit-for-bit against sequential single-image passes; Infer and
+// InferBatch are argmax views of the same reveal.
+func (r *Run) LogitsBatch(images []mnist.Image) (protocol.Mat, error) {
+	return r.logitsFor(images)
 }
 
 // Evaluate computes test accuracy over up to limit samples (0 = all),

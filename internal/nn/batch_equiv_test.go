@@ -1,0 +1,422 @@
+// Batch equivalence suite: a batch-N secure pass must be bit-identical
+// to N sequential single-image passes — int64 output shares, revealed
+// ring values and decoded floats — when both consume row-stable
+// correlated randomness (sharing.RowPreDealer). The local share
+// truncation makes revealed values sensitive to the masks' low bits,
+// so share-aligned dealing is exactly the condition under which
+// bit-identity is the right assertion; any cross-row mixing in the
+// batched tensor path (chunked kernels, im2col layout, mask
+// misalignment) breaks it.
+package nn
+
+import (
+	"fmt"
+	mathrand "math/rand/v2"
+	"testing"
+
+	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/tensor"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// equivBatches is the acceptance grid: 1 and 3 cross the single-image
+// boundary, 8 and 32 cross the parallel kernels' chunk boundaries once
+// the fan-out threshold is forced to zero.
+var equivBatches = []int{1, 3, 8, 32}
+
+// forceChunking makes every tensor kernel fan out across 4 workers
+// regardless of size, so tiny test shapes still cross chunk boundaries.
+func forceChunking(t *testing.T) {
+	t.Helper()
+	prevP := tensor.SetParallelism(4)
+	prevT := tensor.SetParallelThreshold(0)
+	t.Cleanup(func() {
+		tensor.SetParallelism(prevP)
+		tensor.SetParallelThreshold(prevT)
+	})
+}
+
+// shareMatRows shares an n-row matrix row by row with rd and returns
+// the per-party stacked batch bundles plus the per-row bundles, so the
+// batch pass and its replay consume bit-identical input shares.
+func shareMatRows(t *testing.T, rd *sharing.Dealer, m Mat64) ([sharing.NumParties]sharing.Bundle, [][sharing.NumParties]sharing.Bundle) {
+	t.Helper()
+	rows := make([][sharing.NumParties]sharing.Bundle, m.Rows)
+	var parts [sharing.NumParties][]sharing.Bundle
+	for r := 0; r < m.Rows; r++ {
+		row := tensor.Matrix[float64]{Rows: 1, Cols: m.Cols, Data: m.Data[r*m.Cols : (r+1)*m.Cols]}
+		bs, err := rd.ShareFloats(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows[r] = bs
+		for i := 0; i < sharing.NumParties; i++ {
+			parts[i] = append(parts[i], bs[i])
+		}
+	}
+	var batch [sharing.NumParties]sharing.Bundle
+	for i := 0; i < sharing.NumParties; i++ {
+		b, err := sharing.StackBundles(parts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch[i] = b
+	}
+	return batch, rows
+}
+
+// matRow extracts one row of a share matrix.
+func matRow(m Mat, r int) Mat {
+	out := Mat{Rows: 1, Cols: m.Cols, Data: make([]int64, m.Cols)}
+	copy(out.Data, m.Data[r*m.Cols:(r+1)*m.Cols])
+	return out
+}
+
+// wantBitEqual asserts two share matrices are bit-identical.
+func wantBitEqual(t *testing.T, got, want Mat, what string) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", what, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d: %d vs %d (must be bit-identical)", what, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// wantBundleRowEqual asserts row r of the batched output bundle equals
+// the single-row output bundle on all three components — the "int64
+// shares" half of the equivalence claim.
+func wantBundleRowEqual(t *testing.T, batch sharing.Bundle, r int, row sharing.Bundle, what string) {
+	t.Helper()
+	wantBitEqual(t, matRow(batch.Primary, r), row.Primary, what+" primary share")
+	wantBitEqual(t, matRow(batch.Hat, r), row.Hat, what+" hat share")
+	wantBitEqual(t, matRow(batch.Second, r), row.Second, what+" second share")
+}
+
+// equivNet builds one party's network instance for the equivalence
+// grid from pre-shared weight bundles.
+type equivNet func(party int) (*SecureNetwork, error)
+
+// denseEquivNet is a dense(17→11) + ReLU + dense(11→4) stack: odd
+// widths so forced chunking splits rows unevenly.
+func denseEquivNet(t *testing.T, rd *sharing.Dealer, rng *mathrand.Rand) equivNet {
+	t.Helper()
+	w1 := tensor.MustNew[float64](17, 11)
+	w2 := tensor.MustNew[float64](11, 4)
+	for i := range w1.Data {
+		w1.Data[i] = rng.NormFloat64() * 0.4
+	}
+	for i := range w2.Data {
+		w2.Data[i] = rng.NormFloat64() * 0.4
+	}
+	bw1, err := rd.ShareFloats(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw2, err := rd.ShareFloats(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(party int) (*SecureNetwork, error) {
+		d1, err := NewSecureDense(bw1[party])
+		if err != nil {
+			return nil, err
+		}
+		d2, err := NewSecureDense(bw2[party])
+		if err != nil {
+			return nil, err
+		}
+		return &SecureNetwork{Layers: []SecureLayer{d1, NewSecureReLU(), d2}, OwnerActor: transport.ModelOwner}, nil
+	}
+}
+
+// convEquivNet is conv(1×6×6, k3 s2 p1, 2 filters) + ReLU: the im2col
+// lowering gives 9 matmul rows per image, exercising the block (not
+// single-row) decomposition of the batched triple.
+func convEquivNet(t *testing.T, rd *sharing.Dealer, rng *mathrand.Rand) (equivNet, int) {
+	t.Helper()
+	shape := tensor.ConvShape{InChannels: 1, Height: 6, Width: 6, Kernel: 3, Stride: 2, Pad: 1}
+	w := tensor.MustNew[float64](shape.PatchSize(), 2)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64() * 0.4
+	}
+	bw, err := rd.ShareFloats(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(party int) (*SecureNetwork, error) {
+		c, err := NewSecureConv(shape, 2, bw[party])
+		if err != nil {
+			return nil, err
+		}
+		return &SecureNetwork{Layers: []SecureLayer{c, NewSecureReLU()}, OwnerActor: transport.ModelOwner}, nil
+	}, shape.InChannels * shape.Height * shape.Width
+}
+
+// runEquivGrid drives the full batch-vs-sequential comparison for one
+// architecture: for each batch size, one batched pass and N single-row
+// replays over row-stable triples, asserting bit-identical output
+// shares and revealed values (ring ints and decoded floats).
+func runEquivGrid(t *testing.T, env *secureEnv, build func(rd *sharing.Dealer, rng *mathrand.Rand) (equivNet, int)) {
+	t.Helper()
+	forceChunking(t)
+	for _, batch := range equivBatches {
+		t.Run(fmt.Sprintf("batch%d", batch), func(t *testing.T) {
+			rd := sharing.NewDealer(sharing.NewSeededSource(uint64(4000+batch)), env.params)
+			rng := mathrand.New(mathrand.NewPCG(uint64(batch), 99))
+			mk, inWidth := build(rd, rng)
+			pre, err := sharing.NewRowPreDealer(rd, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := tensor.MustNew[float64](batch, inWidth)
+			for i := range x.Data {
+				x.Data[i] = rng.NormFloat64() * 0.5
+			}
+			xBatch, xRows := shareMatRows(t, rd, x)
+
+			session := fmt.Sprintf("eq%d", batch)
+			batchOuts := runSecure(t, env, func(i int) (sharing.Bundle, error) {
+				net, err := mk(i)
+				if err != nil {
+					return sharing.Bundle{}, err
+				}
+				view, err := pre.BatchView(i + 1)
+				if err != nil {
+					return sharing.Bundle{}, err
+				}
+				return net.Logits(env.ctxs[i], view, session, xBatch[i])
+			})
+			batchOpen := open(t, batchOuts)
+
+			for r := 0; r < batch; r++ {
+				rowOuts := runSecure(t, env, func(i int) (sharing.Bundle, error) {
+					net, err := mk(i)
+					if err != nil {
+						return sharing.Bundle{}, err
+					}
+					view, err := pre.RowView(i+1, r)
+					if err != nil {
+						return sharing.Bundle{}, err
+					}
+					return net.Logits(env.ctxs[i], view, session, xRows[r][i])
+				})
+				for i := 0; i < sharing.NumParties; i++ {
+					wantBundleRowEqual(t, batchOuts[i], r, rowOuts[i], fmt.Sprintf("party %d row %d", i+1, r))
+				}
+				rowOpen := open(t, rowOuts)
+				wantBitEqual(t, matRow(batchOpen, r), rowOpen, fmt.Sprintf("revealed row %d", r))
+				for c := 0; c < rowOpen.Cols; c++ {
+					bf := env.params.ToFloat(batchOpen.At(r, c))
+					sf := env.params.ToFloat(rowOpen.At(0, c))
+					if bf != sf {
+						t.Fatalf("revealed float row %d col %d: batch %v, sequential %v", r, c, bf, sf)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBatchDenseForwardBitIdentical(t *testing.T) {
+	env := newSecureEnv(t)
+	runEquivGrid(t, env, func(rd *sharing.Dealer, rng *mathrand.Rand) (equivNet, int) {
+		return denseEquivNet(t, rd, rng), 17
+	})
+}
+
+func TestBatchConvForwardBitIdentical(t *testing.T) {
+	env := newSecureEnv(t)
+	runEquivGrid(t, env, func(rd *sharing.Dealer, rng *mathrand.Rand) (equivNet, int) {
+		return convEquivNet(t, rd, rng)
+	})
+}
+
+// TestBatchForwardByzantineBitIdentical reruns the dense grid on a
+// deployment whose party 2 corrupts every pre-commit exchange. The
+// batched pass and its sequential replay must stay bit-identical under
+// the liar (the equivalence contract holds in every adversary
+// setting); against the honest deployment the reveals must agree
+// within the truncation-carry slack — the corruption excludes the
+// canonical reconstruction pair, and the next honest candidate may
+// differ by a carry ulp, so cross-deployment bit-identity is not the
+// contract.
+func TestBatchForwardByzantineBitIdentical(t *testing.T) {
+	honest := newSecureEnv(t)
+	byz := newSecureEnv(t)
+	byz.ctxs[1].Adversary = liarAdversary{}
+	forceChunking(t)
+
+	const batch = 3
+	logitsOn := func(env *secureEnv) Mat {
+		// Identical seeds on both deployments: the dealer streams, and
+		// therefore every share, match bit for bit between them.
+		rd := sharing.NewDealer(sharing.NewSeededSource(6100), env.params)
+		rng := mathrand.New(mathrand.NewPCG(61, 62))
+		mk := denseEquivNet(t, rd, rng)
+		pre, err := sharing.NewRowPreDealer(rd, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := tensor.MustNew[float64](batch, 17)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64() * 0.5
+		}
+		xBatch, xRows := shareMatRows(t, rd, x)
+		outs := runSecure(t, env, func(i int) (sharing.Bundle, error) {
+			net, err := mk(i)
+			if err != nil {
+				return sharing.Bundle{}, err
+			}
+			view, err := pre.BatchView(i + 1)
+			if err != nil {
+				return sharing.Bundle{}, err
+			}
+			return net.Logits(env.ctxs[i], view, "byzeq", xBatch[i])
+		})
+		got := open(t, outs)
+		// Sequential replay under the same adversary: rows must still
+		// match the batched reveal bit for bit.
+		for r := 0; r < batch; r++ {
+			rowOuts := runSecure(t, env, func(i int) (sharing.Bundle, error) {
+				net, err := mk(i)
+				if err != nil {
+					return sharing.Bundle{}, err
+				}
+				view, err := pre.RowView(i+1, r)
+				if err != nil {
+					return sharing.Bundle{}, err
+				}
+				return net.Logits(env.ctxs[i], view, "byzeq", xRows[r][i])
+			})
+			wantBitEqual(t, matRow(got, r), open(t, rowOuts), fmt.Sprintf("byzantine row %d", r))
+		}
+		return got
+	}
+	want := logitsOn(honest)
+	gotByz := logitsOn(byz)
+	if gotByz.Rows != want.Rows || gotByz.Cols != want.Cols {
+		t.Fatalf("byzantine reveal shape %dx%d vs honest %dx%d", gotByz.Rows, gotByz.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		d := gotByz.Data[i] - want.Data[i]
+		if d < -2 || d > 2 {
+			t.Fatalf("byzantine reveal element %d: %d vs honest %d (|Δ| exceeds the carry slack)",
+				i, gotByz.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestBatchBackwardDecomposition pins the training-step half of the
+// equivalence: with row-stable triples the input gradient dx of a
+// batched backward pass is bit-identical per row to the sequential
+// replays, while the weight gradient — whose matmul contracts over the
+// batch dimension — decomposes additively only up to the truncation
+// carries: |dW_batch − Σᵣ dWᵣ| ≤ N+4 ulps per element. Strict
+// bit-equality of dW is impossible for ANY batching that reorders the
+// fixed-point summation (trunc(a)+trunc(b) ≠ trunc(a+b)), which is why
+// the batched engine's contract is stated at this level.
+func TestBatchBackwardDecomposition(t *testing.T) {
+	env := newSecureEnv(t)
+	forceChunking(t)
+	for _, batch := range equivBatches {
+		t.Run(fmt.Sprintf("batch%d", batch), func(t *testing.T) {
+			rd := sharing.NewDealer(sharing.NewSeededSource(uint64(7000+batch)), env.params)
+			rng := mathrand.New(mathrand.NewPCG(uint64(batch), 7))
+			w := tensor.MustNew[float64](17, 4)
+			for i := range w.Data {
+				w.Data[i] = rng.NormFloat64() * 0.4
+			}
+			bw, err := rd.ShareFloats(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pre, err := sharing.NewRowPreDealer(rd, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := tensor.MustNew[float64](batch, 17)
+			dy := tensor.MustNew[float64](batch, 4)
+			for i := range x.Data {
+				x.Data[i] = rng.NormFloat64() * 0.5
+			}
+			for i := range dy.Data {
+				dy.Data[i] = rng.NormFloat64() * 0.25
+			}
+			xBatch, xRows := shareMatRows(t, rd, x)
+			dyBatch, dyRows := shareMatRows(t, rd, dy)
+
+			session := fmt.Sprintf("bw%d", batch)
+			type bwOut struct{ dx, dW sharing.Bundle }
+			batchOuts := runSecure(t, env, func(i int) (bwOut, error) {
+				d, err := NewSecureDense(bw[i])
+				if err != nil {
+					return bwOut{}, err
+				}
+				view, err := pre.BatchView(i + 1)
+				if err != nil {
+					return bwOut{}, err
+				}
+				if _, err := d.Forward(env.ctxs[i], view, session+"/f", xBatch[i]); err != nil {
+					return bwOut{}, err
+				}
+				dx, err := d.Backward(env.ctxs[i], view, session+"/b", dyBatch[i])
+				if err != nil {
+					return bwOut{}, err
+				}
+				return bwOut{dx: dx, dW: d.dW}, nil
+			})
+			var dxs, dWs [sharing.NumParties]sharing.Bundle
+			for i := 0; i < sharing.NumParties; i++ {
+				dxs[i], dWs[i] = batchOuts[i].dx, batchOuts[i].dW
+			}
+			dxBatch := open(t, dxs)
+			dWBatch := open(t, dWs)
+
+			dWSum := tensor.MustNew[int64](17, 4)
+			for r := 0; r < batch; r++ {
+				rowOuts := runSecure(t, env, func(i int) (bwOut, error) {
+					d, err := NewSecureDense(bw[i])
+					if err != nil {
+						return bwOut{}, err
+					}
+					view, err := pre.RowView(i+1, r)
+					if err != nil {
+						return bwOut{}, err
+					}
+					if _, err := d.Forward(env.ctxs[i], view, session+"/f", xRows[r][i]); err != nil {
+						return bwOut{}, err
+					}
+					dx, err := d.Backward(env.ctxs[i], view, session+"/b", dyRows[r][i])
+					if err != nil {
+						return bwOut{}, err
+					}
+					return bwOut{dx: dx, dW: d.dW}, nil
+				})
+				var rdx, rdW [sharing.NumParties]sharing.Bundle
+				for i := 0; i < sharing.NumParties; i++ {
+					rdx[i], rdW[i] = rowOuts[i].dx, rowOuts[i].dW
+					wantBundleRowEqual(t, batchOuts[i].dx, r, rowOuts[i].dx, fmt.Sprintf("party %d dx row %d", i+1, r))
+				}
+				wantBitEqual(t, matRow(dxBatch, r), open(t, rdx), fmt.Sprintf("revealed dx row %d", r))
+				rowW := open(t, rdW)
+				for i := range dWSum.Data {
+					dWSum.Data[i] += rowW.Data[i]
+				}
+			}
+			bound := int64(batch) + 4
+			for i := range dWSum.Data {
+				d := dWBatch.Data[i] - dWSum.Data[i]
+				if d < 0 {
+					d = -d
+				}
+				if d > bound {
+					t.Fatalf("dW element %d: batch %d vs per-row sum %d (|Δ|=%d exceeds the %d-ulp carry envelope)",
+						i, dWBatch.Data[i], dWSum.Data[i], d, bound)
+				}
+			}
+		})
+	}
+}

@@ -114,7 +114,7 @@ func open(t *testing.T, bundles [sharing.NumParties]sharing.Bundle) Mat {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, _, err := rec.Decide()
+	v, _, err := rec.DecideRows()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,57 +1,38 @@
 package protocol
 
 import (
-	"math"
-
 	"github.com/trustddl/trustddl/internal/sharing"
 )
 
 // decideJoint applies the decision rule of Algorithm 4 (line 20) to one
-// or more reconstruction sets that must be decided consistently: it
-// picks the pair (j, k), j ≠ k, minimizing the summed distance
-// Σ_r dist(r.Plain[j], r.Hat[k]) over all unflagged pairs, and returns
-// each set's Plain[j] as the agreed value. SecMul-BT passes the e and f
-// reconstructions together so both masked values come from the same
-// honest pair.
+// or more reconstruction sets, row by row: every row of every opened
+// matrix picks its own minimum-distance pair (j, k), j ≠ k, among the
+// unflagged reconstructions. Per-row decisions are what make a batched
+// opening row-decomposable: after a truncating step the six candidate
+// reconstructions disagree by share-local carry bits, and a
+// matrix-global pair choice would let one batch row's carries select
+// the reconstruction used for another row — the batched step would then
+// diverge from its sequential replay by a full mask term. Each row's
+// decision independently avoids Byzantine reconstructions (a corrupted
+// share is far from honest in every row it touches), so the per-row
+// rule weakens nothing. The returned Decision reports the worst
+// (maximum-distance) row across all sets, preserving the detection
+// semantics of the global rule.
 func decideJoint(recs ...*sharing.Reconstructions) ([]Mat, sharing.Decision, error) {
 	if len(recs) == 0 {
 		return nil, sharing.Decision{}, sharing.ErrNoConsensus
 	}
-	best := sharing.Decision{Distance: math.Inf(1)}
-	found := false
-	for j := 0; j < sharing.NumParties; j++ {
-		for k := 0; k < sharing.NumParties; k++ {
-			if j == k {
-				continue
-			}
-			ok := true
-			total := 0.0
-			for _, r := range recs {
-				if !r.PlainOK[j] || !r.HatOK[k] {
-					ok = false
-					break
-				}
-				d, err := r.Plain[j].MaxAbsDiff(r.Hat[k])
-				if err != nil {
-					return nil, sharing.Decision{}, err
-				}
-				total += d
-			}
-			if !ok {
-				continue
-			}
-			if total < best.Distance {
-				best = sharing.Decision{PlainSet: j + 1, HatSet: k + 1, Distance: total}
-				found = true
-			}
+	out := make([]Mat, len(recs))
+	var worst sharing.Decision
+	for i, r := range recs {
+		v, dec, err := r.DecideRows()
+		if err != nil {
+			return nil, sharing.Decision{}, err
+		}
+		out[i] = v
+		if i == 0 || dec.Distance > worst.Distance {
+			worst = dec
 		}
 	}
-	if !found {
-		return nil, sharing.Decision{}, sharing.ErrNoConsensus
-	}
-	out := make([]Mat, len(recs))
-	for i, r := range recs {
-		out[i] = r.Plain[best.PlainSet-1]
-	}
-	return out, best, nil
+	return out, worst, nil
 }

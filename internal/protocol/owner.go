@@ -482,7 +482,10 @@ func (s *OwnerService) finishGather(session string, g *gatherEntry) error {
 	for _, p := range missing {
 		rec.FlagParty(p)
 	}
-	value, dec, err := rec.Decide()
+	// Row-wise decision: gathered results may be batches whose rows are
+	// independent per-image values; deciding per row keeps each row's
+	// reveal independent of the other rows' truncation carries.
+	value, dec, err := rec.DecideRows()
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,340 @@
+// Package serve is the TrustDDL inference gateway: it fronts the
+// batched secure engine with a long-lived service that coalesces
+// concurrent client requests into dynamic batches, so every protocol
+// round (triple deal, commitment, exchange, vote, reveal) is amortized
+// over the whole batch instead of paid per image.
+//
+// Admission control is a bounded queue with load shedding: when the
+// queue is full, requests are rejected immediately (HTTP 429) rather
+// than buffered without bound, so overload degrades into backpressure
+// instead of memory growth. One dispatcher goroutine drains the queue —
+// a secure pass holds the whole three-party cluster, so passes are
+// serialized and batching is the only source of intra-pass parallelism.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/obs"
+)
+
+// Inferencer is the batched classification engine the gateway drives;
+// core.Run implements it. InferBatch must return one label per input
+// image, in input order.
+type Inferencer interface {
+	InferBatch(images []mnist.Image) ([]int, error)
+}
+
+// Config parameterizes a Gateway. The zero value selects the defaults
+// documented on each field.
+type Config struct {
+	// MaxBatch caps how many queued requests one secure pass carries
+	// (default 8).
+	MaxBatch int
+	// MaxDelay bounds how long the dispatcher waits after the first
+	// request of a batch for more to arrive (default 2ms). Zero keeps
+	// the default; negative disables waiting (greedy drain only).
+	MaxDelay time.Duration
+	// QueueBound is the admission-control queue capacity (default 256).
+	// Requests beyond it are rejected with ErrOverloaded.
+	QueueBound int
+	// Obs receives gateway metrics (serve.* names). Nil disables
+	// metering.
+	Obs *obs.Registry
+}
+
+// Errors returned by Classify (the HTTP handler maps them to 429/503).
+var (
+	// ErrOverloaded means the admission queue was full; retry later.
+	ErrOverloaded = errors.New("serve: request queue full")
+	// ErrClosed means the gateway shut down before serving the request.
+	ErrClosed = errors.New("serve: gateway closed")
+)
+
+type reply struct {
+	label int
+	err   error
+}
+
+type pending struct {
+	img   mnist.Image
+	enq   time.Time
+	reply chan reply
+}
+
+// Gateway batches concurrent Classify calls into secure passes.
+type Gateway struct {
+	inf   Inferencer
+	cfg   Config
+	queue chan *pending
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+
+	requests  *obs.Counter // admitted + rejected
+	rejected  *obs.Counter // load-shed by the bounded queue
+	responses *obs.Counter // successful replies
+	errored   *obs.Counter // replies carrying an engine error
+	batches   *obs.Counter // secure passes dispatched
+	images    *obs.Counter // images carried by those passes
+	depth     *obs.Gauge   // queue occupancy after the last enqueue/drain
+	latency   *obs.Histogram
+	passTime  *obs.Histogram
+}
+
+// New starts a gateway over inf. Close releases its dispatcher.
+func New(inf Inferencer, cfg Config) *Gateway {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.MaxDelay == 0 {
+		cfg.MaxDelay = 2 * time.Millisecond
+	}
+	if cfg.QueueBound <= 0 {
+		cfg.QueueBound = 256
+	}
+	g := &Gateway{
+		inf:       inf,
+		cfg:       cfg,
+		queue:     make(chan *pending, cfg.QueueBound),
+		stop:      make(chan struct{}),
+		requests:  cfg.Obs.Counter("serve.requests"),
+		rejected:  cfg.Obs.Counter("serve.rejected"),
+		responses: cfg.Obs.Counter("serve.responses"),
+		errored:   cfg.Obs.Counter("serve.errors"),
+		batches:   cfg.Obs.Counter("serve.batches"),
+		images:    cfg.Obs.Counter("serve.images"),
+		depth:     cfg.Obs.Gauge("serve.queue.depth"),
+		latency:   cfg.Obs.Histogram("serve.latency"),
+		passTime:  cfg.Obs.Histogram("serve.pass"),
+	}
+	g.wg.Add(1)
+	go g.dispatch()
+	return g
+}
+
+// Classify queues one image and blocks until its batch is served.
+// Returns ErrOverloaded without blocking when the admission queue is
+// full, and ErrClosed when the gateway shuts down first.
+func (g *Gateway) Classify(img mnist.Image) (int, error) {
+	g.requests.Inc()
+	p := &pending{img: img, enq: time.Now(), reply: make(chan reply, 1)}
+	// The enqueue happens under the read lock so Close (write lock)
+	// cannot slip between the closed check and the send: once closed is
+	// set, nothing new enters the queue, and everything already in it is
+	// drained by the dispatcher's shutdown path. Every admitted request
+	// therefore gets exactly one reply.
+	g.mu.RLock()
+	if g.closed {
+		g.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	select {
+	case g.queue <- p:
+		g.depth.Set(int64(len(g.queue)))
+		g.mu.RUnlock()
+	default:
+		g.mu.RUnlock()
+		g.rejected.Inc()
+		return 0, ErrOverloaded
+	}
+	r := <-p.reply
+	if r.err != nil {
+		g.errored.Inc()
+		return 0, r.err
+	}
+	g.responses.Inc()
+	g.latency.Observe(time.Since(p.enq))
+	return r.label, nil
+}
+
+// dispatch is the single batcher loop: take one request, wait at most
+// MaxDelay for the batch to fill, run one secure pass, fan the labels
+// back out.
+func (g *Gateway) dispatch() {
+	defer g.wg.Done()
+	for {
+		var first *pending
+		select {
+		case first = <-g.queue:
+		case <-g.stop:
+			g.drain()
+			return
+		}
+		batch := g.collect(first)
+		g.depth.Set(int64(len(g.queue)))
+		g.serve(batch)
+	}
+}
+
+// collect grows a batch around its first request until MaxBatch is
+// reached or MaxDelay elapses.
+func (g *Gateway) collect(first *pending) []*pending {
+	batch := []*pending{first}
+	if g.cfg.MaxBatch == 1 {
+		return batch
+	}
+	// Greedy phase: anything already queued joins for free.
+	for len(batch) < g.cfg.MaxBatch {
+		select {
+		case p := <-g.queue:
+			batch = append(batch, p)
+			continue
+		default:
+		}
+		break
+	}
+	if len(batch) == g.cfg.MaxBatch || g.cfg.MaxDelay < 0 {
+		return batch
+	}
+	timer := time.NewTimer(g.cfg.MaxDelay)
+	defer timer.Stop()
+	for len(batch) < g.cfg.MaxBatch {
+		select {
+		case p := <-g.queue:
+			batch = append(batch, p)
+		case <-timer.C:
+			return batch
+		case <-g.stop:
+			// Serve what we have; the next loop iteration shuts down.
+			return batch
+		}
+	}
+	return batch
+}
+
+// serve runs one secure pass over the batch and replies to every
+// member. A pass error fans out to the whole batch — the images shared
+// one protocol execution, so they share its fate.
+func (g *Gateway) serve(batch []*pending) {
+	imgs := make([]mnist.Image, len(batch))
+	for i, p := range batch {
+		imgs[i] = p.img
+	}
+	start := time.Now()
+	labels, err := g.inf.InferBatch(imgs)
+	g.passTime.Observe(time.Since(start))
+	g.batches.Inc()
+	g.images.Add(int64(len(batch)))
+	if err == nil && len(labels) != len(batch) {
+		err = fmt.Errorf("serve: engine returned %d labels for %d images", len(labels), len(batch))
+	}
+	for i, p := range batch {
+		if err != nil {
+			p.reply <- reply{err: err}
+		} else {
+			p.reply <- reply{label: labels[i]}
+		}
+	}
+}
+
+// drain answers everything still queued at shutdown with ErrClosed.
+func (g *Gateway) drain() {
+	for {
+		select {
+		case p := <-g.queue:
+			p.reply <- reply{err: ErrClosed}
+		default:
+			g.depth.Set(0)
+			return
+		}
+	}
+}
+
+// Close stops admitting requests, fails everything still queued with
+// ErrClosed and waits for the dispatcher to exit. Idempotent.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	g.mu.Unlock()
+	close(g.stop)
+	g.wg.Wait()
+}
+
+// Request is the JSON body of POST /infer: one flattened 28×28 image.
+type Request struct {
+	Pixels []float64 `json:"pixels"`
+}
+
+// Response is the JSON body of a successful inference.
+type Response struct {
+	Label int `json:"label"`
+}
+
+// errorBody is the JSON body of a failed inference.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds an /infer request body (784 float64 literals fit
+// comfortably; anything larger is malformed or hostile).
+const maxBodyBytes = 1 << 20
+
+// Handler exposes the gateway over HTTP:
+//
+//	POST /infer    {"pixels":[...784 floats...]} → {"label":N}
+//	GET  /healthz  liveness probe
+//
+// Overload maps to 429 with a Retry-After hint; engine failures and
+// shutdown map to 503.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/infer", g.handleInfer)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Pixels) != mnist.NumPixels {
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("want %d pixels, got %d", mnist.NumPixels, len(req.Pixels)),
+		})
+		return
+	}
+	var img mnist.Image
+	copy(img.Pixels[:], req.Pixels)
+	label, err := g.Classify(img)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, Response{Label: label})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		// The status line is already gone; nothing useful left to do.
+		_ = err
+	}
+}

@@ -1,0 +1,387 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/core"
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/obs"
+	"github.com/trustddl/trustddl/internal/serve"
+)
+
+// stubEngine is a deterministic Inferencer: an image's label is
+// whatever integer the caller stored in Pixels[0]. That makes any
+// cross-wiring of batched replies (image i answered with image j's
+// label) directly observable.
+type stubEngine struct {
+	delay time.Duration
+	fail  error
+
+	mu         sync.Mutex
+	batchSizes []int
+}
+
+func (s *stubEngine) InferBatch(imgs []mnist.Image) ([]int, error) {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	s.mu.Lock()
+	s.batchSizes = append(s.batchSizes, len(imgs))
+	s.mu.Unlock()
+	if s.fail != nil {
+		return nil, s.fail
+	}
+	labels := make([]int, len(imgs))
+	for i, im := range imgs {
+		labels[i] = int(im.Pixels[0])
+	}
+	return labels, nil
+}
+
+func (s *stubEngine) maxBatch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	max := 0
+	for _, b := range s.batchSizes {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+func taggedImage(tag int) mnist.Image {
+	var img mnist.Image
+	img.Pixels[0] = float64(tag)
+	return img
+}
+
+// TestGatewayRoutesConcurrentClients drives many concurrent Classify
+// calls through a coalescing gateway and checks every caller gets its
+// own label back — the exactly-once / no-cross-wiring invariant the
+// whole batching layer rests on.
+func TestGatewayRoutesConcurrentClients(t *testing.T) {
+	eng := &stubEngine{delay: 200 * time.Microsecond}
+	reg := obs.NewRegistry("test")
+	g := serve.New(eng, serve.Config{MaxBatch: 8, MaxDelay: time.Millisecond, QueueBound: 1024, Obs: reg})
+	defer g.Close()
+
+	const clients = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < 4; k++ {
+				tag := c*100 + k
+				label, err := g.Classify(taggedImage(tag))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if label != tag {
+					t.Errorf("client %d request %d: got label %d, want %d (cross-wired batch reply)", c, k, label, tag)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("classify failed: %v", err)
+	}
+	if got := reg.Counter("serve.responses").Value(); got != clients*4 {
+		t.Fatalf("serve.responses = %d, want %d", got, clients*4)
+	}
+	if got := reg.Counter("serve.images").Value(); got != clients*4 {
+		t.Fatalf("serve.images = %d, want %d", got, clients*4)
+	}
+	if batches := reg.Counter("serve.batches").Value(); batches >= clients*4 {
+		t.Errorf("dispatcher ran %d batches for %d requests: no coalescing happened", batches, clients*4)
+	}
+	if mb := eng.maxBatch(); mb > 8 {
+		t.Errorf("engine saw a batch of %d, above MaxBatch 8", mb)
+	}
+}
+
+// TestGatewayBackpressure overloads a tiny queue behind a slow engine
+// and checks the overflow is shed (ErrOverloaded) instead of buffered,
+// with every request accounted exactly once.
+func TestGatewayBackpressure(t *testing.T) {
+	eng := &stubEngine{delay: 5 * time.Millisecond}
+	reg := obs.NewRegistry("test")
+	g := serve.New(eng, serve.Config{MaxBatch: 2, MaxDelay: -1, QueueBound: 2, Obs: reg})
+	defer g.Close()
+
+	const total = 128
+	var ok, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			label, err := g.Classify(taggedImage(i))
+			switch {
+			case errors.Is(err, serve.ErrOverloaded):
+				shed.Add(1)
+			case err != nil:
+				t.Errorf("request %d: %v", i, err)
+			case label != i:
+				t.Errorf("request %d answered with label %d", i, label)
+			default:
+				ok.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if shed.Load() == 0 {
+		t.Fatal("128 instant requests against a 2-deep queue shed nothing; backpressure is not engaging")
+	}
+	if ok.Load() == 0 {
+		t.Fatal("every request was shed; admission control is not admitting")
+	}
+	if got, want := ok.Load()+shed.Load(), int64(total); got != want {
+		t.Fatalf("accounted %d of %d requests", got, want)
+	}
+	req := reg.Counter("serve.requests").Value()
+	resp := reg.Counter("serve.responses").Value()
+	rej := reg.Counter("serve.rejected").Value()
+	errCount := reg.Counter("serve.errors").Value()
+	if req != resp+rej+errCount {
+		t.Fatalf("metrics leak requests: %d != %d+%d+%d", req, resp, rej, errCount)
+	}
+}
+
+// TestGatewayEngineErrorFansOut checks a failed secure pass reports the
+// error to every member of the batch rather than wedging them.
+func TestGatewayEngineErrorFansOut(t *testing.T) {
+	boom := errors.New("pass failed")
+	g := serve.New(&stubEngine{fail: boom}, serve.Config{MaxBatch: 4, QueueBound: 16})
+	defer g.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := g.Classify(taggedImage(1)); !errors.Is(err, boom) {
+				t.Errorf("got %v, want engine error", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestGatewayCloseAnswersEverything races Close against a burst of
+// Classify calls: each must resolve to a label, ErrOverloaded or
+// ErrClosed — never hang.
+func TestGatewayCloseAnswersEverything(t *testing.T) {
+	eng := &stubEngine{delay: time.Millisecond}
+	g := serve.New(eng, serve.Config{MaxBatch: 4, QueueBound: 8})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			label, err := g.Classify(taggedImage(i))
+			if err == nil && label != i {
+				t.Errorf("request %d answered with label %d", i, label)
+			}
+			if err != nil && !errors.Is(err, serve.ErrOverloaded) && !errors.Is(err, serve.ErrClosed) {
+				t.Errorf("request %d: unexpected error %v", i, err)
+			}
+		}(i)
+	}
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		g.Close()
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	if _, err := g.Classify(taggedImage(0)); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("classify after close: got %v, want ErrClosed", err)
+	}
+	g.Close() // idempotent
+}
+
+// TestHandlerValidation walks the HTTP edge: method, body shape and
+// pixel-count validation, and the happy path.
+func TestHandlerValidation(t *testing.T) {
+	g := serve.New(&stubEngine{}, serve.Config{})
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	if resp, err := http.Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.Status, err)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.Get(srv.URL + "/infer"); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /infer: got %v %v, want 405", resp.Status, err)
+	} else {
+		resp.Body.Close()
+	}
+	post := func(body string) *http.Response {
+		resp, err := http.Post(srv.URL+"/infer", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	for _, bad := range []string{"", "{", `{"pixels":[1,2,3]}`, `{"pixels":"x"}`} {
+		resp := post(bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: got %s, want 400", bad, resp.Status)
+		}
+		resp.Body.Close()
+	}
+	img := taggedImage(7)
+	body, _ := json.Marshal(serve.Request{Pixels: img.Pixels[:]})
+	resp, err := http.Post(srv.URL+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid infer: got %s", resp.Status)
+	}
+	var out serve.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out.Label != 7 {
+		t.Fatalf("got label %d (err %v), want 7", out.Label, err)
+	}
+}
+
+// TestLoadThousandsOfClients is the scale half of the load harness:
+// two thousand concurrent clients against a stub-backed gateway under
+// the race detector, asserting exactly-once delivery and engaged
+// backpressure with a bounded queue.
+func TestLoadThousandsOfClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thousands of goroutines; skipped in -short runs")
+	}
+	eng := &stubEngine{delay: 50 * time.Microsecond}
+	reg := obs.NewRegistry("test")
+	g := serve.New(eng, serve.Config{MaxBatch: 32, MaxDelay: 500 * time.Microsecond, QueueBound: 64, Obs: reg})
+	defer g.Close()
+
+	const clients = 2000
+	var ok, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 2; k++ {
+				label, err := g.Classify(taggedImage(i))
+				switch {
+				case errors.Is(err, serve.ErrOverloaded):
+					shed.Add(1)
+				case err != nil:
+					t.Errorf("client %d: %v", i, err)
+				case label != i:
+					t.Errorf("client %d answered with label %d", i, label)
+				default:
+					ok.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got, want := ok.Load()+shed.Load(), int64(clients*2); got != want {
+		t.Fatalf("accounted %d of %d requests", got, want)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no request was served")
+	}
+	req := reg.Counter("serve.requests").Value()
+	if resp := reg.Counter("serve.responses").Value(); req != resp+reg.Counter("serve.rejected").Value() {
+		t.Fatalf("metrics leak requests: requests %d, responses %d, rejected %d",
+			req, resp, reg.Counter("serve.rejected").Value())
+	}
+}
+
+// newClusterGateway builds a real three-party deployment over a fast
+// one-layer architecture and returns a served gateway plus the
+// reference labels the batched engine assigns to ds.Images.
+func newClusterGateway(t *testing.T, batch int) (*serve.Gateway, *core.Cluster, mnist.Dataset, []int) {
+	t.Helper()
+	cluster, err := core.New(core.Config{
+		Mode:    core.HonestButCurious,
+		Triples: core.OnlineDealing,
+		Seed:    31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := nn.Arch{nn.DenseSpec(mnist.NumPixels, mnist.NumClasses)}
+	weights, err := arch.InitWeights(31)
+	if err != nil {
+		cluster.Close()
+		t.Fatal(err)
+	}
+	run, err := cluster.NewRunArch(arch, weights)
+	if err != nil {
+		cluster.Close()
+		t.Fatal(err)
+	}
+	ds := mnist.Synthetic(31, 8)
+	expect, err := run.InferBatch(ds.Images)
+	if err != nil {
+		cluster.Close()
+		t.Fatal(err)
+	}
+	g := serve.New(run, serve.Config{MaxBatch: batch, MaxDelay: time.Millisecond, QueueBound: 512})
+	return g, cluster, ds, expect
+}
+
+// TestServeClusterE2E runs the full stack — HTTP handler, dynamic
+// batcher, real three-party secure engine — under hundreds of
+// concurrent clients and checks every response carries the label the
+// batched engine assigns to that image.
+func TestServeClusterE2E(t *testing.T) {
+	clients, perClient := 40, 2
+	if !testing.Short() {
+		clients = 200
+	}
+	g, cluster, ds, expect := newClusterGateway(t, 16)
+	defer cluster.Close()
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	rep, err := serve.RunLoad(serve.LoadConfig{
+		URL:               srv.URL,
+		Images:            ds.Images,
+		Expect:            expect,
+		Clients:           clients,
+		RequestsPerClient: perClient,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accounted() {
+		t.Fatalf("load run lost requests: %+v", rep)
+	}
+	if rep.Mismatched != 0 {
+		t.Fatalf("%d responses carried another image's label: %+v", rep.Mismatched, rep)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d requests failed outright: %+v", rep.Failed, rep)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("nothing served: %+v", rep)
+	}
+}

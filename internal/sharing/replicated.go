@@ -272,6 +272,123 @@ func (r *Reconstructions) Decide() (Mat, Decision, error) {
 	return r.Plain[best.PlainSet-1], best, nil
 }
 
+// HonestSlack bounds the disagreement (raw ring units) between honest
+// reconstructions of the same opened value: exact openings agree
+// perfectly, and the share-local probabilistic truncation perturbs each
+// set's reconstruction by at most a few carry units. Any two candidates
+// within this slack of each other are equally valid reveals of the
+// value; a corrupted candidate is farther away with overwhelming
+// probability (the corrupter commits before seeing honest shares). The
+// protocol layer's deviation-suspicion tolerance matches this bound.
+const HonestSlack = 16
+
+// DecideRows applies the decision rule of §III-B independently to each
+// row of the reconstructed matrix, with a canonical preference among
+// plausibly-honest candidates: each row first finds its minimum pair
+// distance, then picks the lexicographically first unflagged pair
+// (j, k) whose distance is within HonestSlack of that minimum, and
+// reveals Plain[j]'s row.
+//
+// Both refinements exist to make the decision a pure function of the
+// honest data, independent of shape and flag context:
+//
+//   - Per-row: after truncation the six candidates disagree by
+//     share-local carry bits, so a matrix-global minimum-distance pair
+//     lets one row's carries select the reconstruction used for a
+//     logically unrelated row. Batched openings would then diverge
+//     from their sequential replay. Per-row decisions make a batched
+//     reveal bit-identical to the concatenation of single-row reveals.
+//
+//   - Canonical preference: within the slack, *which* candidate wins
+//     min-distance is an artifact of carry noise — and parties can
+//     hold different candidate sets (a party that flagged a timed-out
+//     peer is forced to the peer-free pair; an unflagged party sees
+//     all six). Strict min-distance then lets two honest parties
+//     decide values differing by a carry, silently forking the shared
+//     state — every later share of the forked party is off by a
+//     mask-sized term. Preferring the lowest plain set among all
+//     within-slack pairs makes every honest party choose the same
+//     value whenever their candidate sets overlap on one honest pair,
+//     while corrupted sets (distance >> HonestSlack above the minimum)
+//     are still excluded.
+//
+// The returned Decision describes the worst (maximum-distance) row,
+// preserving Decide's semantics for deviation detection.
+func (r *Reconstructions) DecideRows() (Mat, Decision, error) {
+	rows, cols := 0, 0
+	for j := 0; j < NumParties; j++ {
+		if r.PlainOK[j] {
+			rows, cols = r.Plain[j].Rows, r.Plain[j].Cols
+			break
+		}
+	}
+	if rows == 0 && cols == 0 {
+		return Mat{}, Decision{}, ErrNoConsensus
+	}
+	out := Mat{Rows: rows, Cols: cols, Data: make([]int64, rows*cols)}
+	worst := Decision{Distance: math.Inf(-1)}
+	for row := 0; row < rows; row++ {
+		var dist [NumParties][NumParties]float64
+		minDist := math.Inf(1)
+		found := false
+		for j := 0; j < NumParties; j++ {
+			if !r.PlainOK[j] {
+				continue
+			}
+			for k := 0; k < NumParties; k++ {
+				if k == j || !r.HatOK[k] {
+					continue
+				}
+				if r.Plain[j].Rows != rows || r.Plain[j].Cols != cols ||
+					r.Hat[k].Rows != rows || r.Hat[k].Cols != cols {
+					return Mat{}, Decision{}, fmt.Errorf("sharing: reconstruction shape mismatch (plain %d: %dx%d, hat %d: %dx%d)",
+						j+1, r.Plain[j].Rows, r.Plain[j].Cols, k+1, r.Hat[k].Rows, r.Hat[k].Cols)
+				}
+				d := 0.0
+				for c := row * cols; c < (row+1)*cols; c++ {
+					// Ring difference first, as in Mat.MaxAbsDiff: exact
+					// near the int64 extremes where float64 conversion
+					// of each operand would round the delta away.
+					diff := math.Abs(float64(r.Plain[j].Data[c] - r.Hat[k].Data[c]))
+					if diff > d {
+						d = diff
+					}
+				}
+				dist[j][k] = d
+				if d < minDist {
+					minDist = d
+					found = true
+				}
+			}
+		}
+		if !found {
+			return Mat{}, Decision{}, ErrNoConsensus
+		}
+		// Canonical choice: the first pair within slack of the minimum.
+		best := Decision{}
+	pick:
+		for j := 0; j < NumParties; j++ {
+			if !r.PlainOK[j] {
+				continue
+			}
+			for k := 0; k < NumParties; k++ {
+				if k == j || !r.HatOK[k] {
+					continue
+				}
+				if dist[j][k] <= minDist+HonestSlack {
+					best = Decision{PlainSet: j + 1, HatSet: k + 1, Distance: dist[j][k]}
+					break pick
+				}
+			}
+		}
+		copy(out.Data[row*cols:(row+1)*cols], r.Plain[best.PlainSet-1].Data[row*cols:(row+1)*cols])
+		if best.Distance > worst.Distance {
+			worst = best
+		}
+	}
+	return out, worst, nil
+}
+
 // Suspect inspects the six reconstructions and reports which party is
 // most plausibly Byzantine, given the decided value and tolerance tol
 // (in raw ring units). It returns 0 when every reconstruction is within

@@ -1,0 +1,56 @@
+// The serving measurement at the public API level: the dynamic
+// batcher's whole value is amortizing protocol rounds over the batch,
+// so the model owner's message count per image must strictly fall as
+// the gateway batch limit grows.
+package trustddl_test
+
+import (
+	"testing"
+
+	trustddl "github.com/trustddl/trustddl"
+)
+
+// TestBenchServeJSON runs the gateway batch-amortization measurement,
+// asserts the per-image owner round collapse, and persists
+// BENCH_serve.json for trend tracking across PRs.
+func TestBenchServeJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full gateway load measurement; skipped in -short runs")
+	}
+	cfg := trustddl.ServeConfig{
+		Batches:           []int{1, 2, 4, 8},
+		Clients:           16,
+		RequestsPerClient: 2,
+		Seed:              1,
+	}
+	rows, err := trustddl.ServeBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Batches) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(cfg.Batches))
+	}
+	for i, r := range rows {
+		if r.Served == 0 {
+			t.Errorf("max-batch %d: gateway served nothing", r.MaxBatch)
+		}
+		if r.OwnerMsgsPerImage <= 0 {
+			t.Errorf("max-batch %d: owner messages per image %.2f, want > 0 (meter broken)",
+				r.MaxBatch, r.OwnerMsgsPerImage)
+		}
+		if i == 0 {
+			continue
+		}
+		// The acceptance property: a batch-B pass pays the same protocol
+		// rounds as a batch-1 pass, so per-image owner traffic must
+		// strictly decrease along the grid.
+		if prev := rows[i-1]; r.OwnerMsgsPerImage >= prev.OwnerMsgsPerImage {
+			t.Errorf("owner messages per image did not drop: max-batch %d %.2f, max-batch %d %.2f",
+				prev.MaxBatch, prev.OwnerMsgsPerImage, r.MaxBatch, r.OwnerMsgsPerImage)
+		}
+	}
+	if err := trustddl.WriteServeJSON("BENCH_serve.json", cfg, rows); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + trustddl.FormatServe(rows))
+}
