@@ -100,6 +100,27 @@ func WriteObsJSON(path string, res ObsResult) error { return bench.WriteObsJSON(
 // FormatObs renders an observability report as a table.
 func FormatObs(res ObsResult) string { return bench.FormatObs(res) }
 
+// HotpathConfig parameterizes the hot-path before/after measurement:
+// buffer pools, bulk wire codec and the fused im2col+matmul kernel,
+// each measured with the optimizations off and on.
+type HotpathConfig = bench.HotpathConfig
+
+// HotpathCell is one measured (benchmark, variant) cell.
+type HotpathCell = bench.HotpathCell
+
+// Hotpath measures the secure-step hot path (batched inference over
+// loopback TCP) and its extracted kernels, before and after the
+// allocation work: ns/op, B/op and allocs/op per cell.
+func Hotpath(cfg HotpathConfig) ([]HotpathCell, error) { return bench.Hotpath(cfg) }
+
+// WriteHotpathJSON persists a Hotpath measurement (BENCH_hotpath.json).
+func WriteHotpathJSON(path string, cfg HotpathConfig, cells []HotpathCell) error {
+	return bench.WriteHotpathJSON(path, cfg, cells)
+}
+
+// FormatHotpath renders a Hotpath measurement as a before/after table.
+func FormatHotpath(cells []HotpathCell) string { return bench.FormatHotpath(cells) }
+
 // PrecisionConfig parameterizes the fixed-point precision sweep (the
 // ablation behind the paper's §IV-B choice of 20 fractional bits).
 type PrecisionConfig = bench.PrecisionConfig

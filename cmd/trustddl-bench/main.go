@@ -8,6 +8,12 @@
 //	trustddl-bench [-iters N] [-seed S] [-frameworks a,b,...] [-parallelism P] [-prefetch-depth N]
 //	               [-obs] [-obs-json PATH] [-metrics-addr HOST:PORT]
 //	               [-serve] [-serve-batches 1,2,4,8] [-serve-json PATH]
+//	               [-hotpath] [-hotpath-batch N] [-hotpath-json PATH]
+//
+// With -hotpath the hot-path benchmark runs instead: the batched secure
+// inference pass over loopback TCP plus its extracted kernels (fused
+// im2col+matmul, bulk wire codec), each measured with the allocation
+// optimizations off and on — ns/op, B/op and allocs/op per cell.
 //
 // With -serve the serving benchmark runs instead: the Table I network
 // behind the trustddl-serve gateway, measured once per dynamic-batch
@@ -52,10 +58,16 @@ func run(args []string) error {
 	serveRun := fs.Bool("serve", false, "run the serving benchmark (gateway batch amortization across -serve-batches) instead of Table II")
 	serveBatches := fs.String("serve-batches", "1,2,4,8", "with -serve, comma-separated gateway MaxBatch grid")
 	serveJSON := fs.String("serve-json", "", "with -serve, also write the report to this file (e.g. BENCH_serve.json)")
+	hotpathRun := fs.Bool("hotpath", false, "run the hot-path benchmark (buffer pools, bulk codec, fused conv: before/after ns, B and allocs per op) instead of Table II")
+	hotpathBatch := fs.Int("hotpath-batch", 4, "with -hotpath, images per secure pass")
+	hotpathJSON := fs.String("hotpath-json", "", "with -hotpath, also write the report to this file (e.g. BENCH_hotpath.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *hotpathRun || *hotpathJSON != "" {
+		return runHotpath(*iters, *seed, *hotpathBatch, *parallelism, *hotpathJSON)
+	}
 	if *serveRun || *serveJSON != "" {
 		return runServe(*seed, *serveBatches, *serveJSON)
 	}
@@ -76,6 +88,30 @@ func run(args []string) error {
 	}
 	fmt.Print(trustddl.FormatTable2(rows))
 	fmt.Println("\nSee EXPERIMENTS.md for the paper-vs-measured comparison.")
+	return nil
+}
+
+// runHotpath drives the hot-path before/after benchmark.
+func runHotpath(iters int, seed uint64, batch, parallelism int, jsonPath string) error {
+	cfg := trustddl.HotpathConfig{
+		Iterations:  iters,
+		Batch:       batch,
+		Seed:        seed,
+		Parallelism: parallelism,
+	}
+	fmt.Println("TrustDDL hot-path benchmark (buffer pools, bulk wire codec, fused im2col+matmul)")
+	fmt.Printf("(batched secure inference over loopback TCP, batch %d, averaged over %d passes)\n\n", batch, iters)
+	cells, err := trustddl.Hotpath(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(trustddl.FormatHotpath(cells))
+	if jsonPath != "" {
+		if err := trustddl.WriteHotpathJSON(jsonPath, cfg, cells); err != nil {
+			return err
+		}
+		fmt.Printf("\nreport written to %s\n", jsonPath)
+	}
 	return nil
 }
 

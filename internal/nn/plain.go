@@ -159,9 +159,9 @@ type Conv struct {
 	// Momentum enables classical momentum SGD (0 = plain SGD).
 	Momentum float64
 
-	cols []Mat64 // cached per-sample patch matrices
-	dW   Mat64
-	vel  Mat64
+	x   Mat64 // input batch of the last forward (for the backward pass)
+	dW  Mat64
+	vel Mat64
 }
 
 var _ Layer = (*Conv)(nil)
@@ -191,38 +191,35 @@ func (c *Conv) OutSize() int {
 // Forward implements Layer. Rows of x are flattened images of length
 // InChannels·H·W; rows of the output have length OutSize (position-
 // major: p0c0, p0c1, …).
+//
+// The convolution runs through the fused im2col+matmul kernel, so the
+// forward pass — and therefore plaintext inference — never materializes
+// the patch matrix. The backward pass rebuilds patch matrices from the
+// cached input batch; the per-row arithmetic is identical either way.
 func (c *Conv) Forward(x Mat64) (Mat64, error) {
 	inLen := c.Shape.InChannels * c.Shape.Height * c.Shape.Width
 	if x.Cols != inLen {
 		return Mat64{}, fmt.Errorf("nn: conv input width %d, want %d", x.Cols, inLen)
 	}
-	out := tensor.MustNew[float64](x.Rows, c.OutSize())
-	c.cols = make([]Mat64, x.Rows)
-	for s := 0; s < x.Rows; s++ {
-		img, err := tensor.FromSlice(c.Shape.InChannels, c.Shape.Height*c.Shape.Width, x.Data[s*x.Cols:(s+1)*x.Cols])
-		if err != nil {
-			return Mat64{}, err
-		}
-		cols, err := c.Shape.Im2ColFloat(img)
-		if err != nil {
-			return Mat64{}, err
-		}
-		c.cols[s] = cols
-		y, err := cols.MatMul(c.W)
-		if err != nil {
-			return Mat64{}, err
-		}
-		copy(out.Data[s*out.Cols:(s+1)*out.Cols], y.Data)
+	c.x = x
+	y, err := tensor.Conv2DBatch(c.Shape, x, c.W)
+	if err != nil {
+		return Mat64{}, err
 	}
-	return out, nil
+	// Regroup (B·P)×Cout rows into B rows of P·Cout — a row-major
+	// relabeling, so Reshape moves no data.
+	return y.Reshape(x.Rows, c.OutSize())
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The patch matrix for each sample is
+// rebuilt here from the input cached by Forward — im2col is
+// deterministic, so the rebuilt matrix is the one Forward would have
+// cached, at the cost of recomputing it only on training steps.
 func (c *Conv) Backward(dy Mat64) (Mat64, error) {
-	if len(c.cols) == 0 {
+	if c.x.IsZeroShape() {
 		return Mat64{}, fmt.Errorf("nn: conv backward before forward")
 	}
-	if dy.Cols != c.OutSize() || dy.Rows != len(c.cols) {
+	if dy.Cols != c.OutSize() || dy.Rows != c.x.Rows {
 		return Mat64{}, fmt.Errorf("nn: conv gradient shape %dx%d unexpected", dy.Rows, dy.Cols)
 	}
 	positions := c.Shape.OutHeight() * c.Shape.OutWidth()
@@ -234,7 +231,15 @@ func (c *Conv) Backward(dy Mat64) (Mat64, error) {
 		if err != nil {
 			return Mat64{}, err
 		}
-		g, err := c.cols[s].Transpose().MatMul(dYs)
+		img, err := tensor.FromSlice(c.Shape.InChannels, c.Shape.Height*c.Shape.Width, c.x.Data[s*c.x.Cols:(s+1)*c.x.Cols])
+		if err != nil {
+			return Mat64{}, err
+		}
+		cols, err := c.Shape.Im2ColFloat(img)
+		if err != nil {
+			return Mat64{}, err
+		}
+		g, err := cols.Transpose().MatMul(dYs)
 		if err != nil {
 			return Mat64{}, err
 		}
@@ -245,11 +250,11 @@ func (c *Conv) Backward(dy Mat64) (Mat64, error) {
 		if err != nil {
 			return Mat64{}, err
 		}
-		img, err := c.Shape.Col2ImFloat(dCols)
+		dImg, err := c.Shape.Col2ImFloat(dCols)
 		if err != nil {
 			return Mat64{}, err
 		}
-		copy(dx.Data[s*inLen:(s+1)*inLen], img.Data)
+		copy(dx.Data[s*inLen:(s+1)*inLen], dImg.Data)
 	}
 	c.dW = dW
 	return dx, nil

@@ -92,6 +92,37 @@ func transposeBundle(b sharing.Bundle) (sharing.Bundle, error) {
 	return transformBundle(b, func(m Mat) (Mat, error) { return m.Transpose(), nil })
 }
 
+// pooledTransposeBundle transposes b into pooled storage. The result is
+// scratch for exactly one protocol call in the backward pass; the
+// caller must hand it back via releaseBundle once that call returns
+// (the protocol masks operands into fresh bundles, so the transposed
+// shares are dead the moment SecMatMulBT does).
+func pooledTransposeBundle(b sharing.Bundle) (sharing.Bundle, error) {
+	out := sharing.Bundle{
+		Primary: tensor.GetMatrix(b.Primary.Cols, b.Primary.Rows),
+		Hat:     tensor.GetMatrix(b.Hat.Cols, b.Hat.Rows),
+		Second:  tensor.GetMatrix(b.Second.Cols, b.Second.Rows),
+	}
+	if err := b.Primary.TransposeInto(out.Primary); err != nil {
+		return sharing.Bundle{}, err
+	}
+	if err := b.Hat.TransposeInto(out.Hat); err != nil {
+		return sharing.Bundle{}, err
+	}
+	if err := b.Second.TransposeInto(out.Second); err != nil {
+		return sharing.Bundle{}, err
+	}
+	return out, nil
+}
+
+// releaseBundle returns a pooled bundle's share storage to the matrix
+// pool. The bundle and every view of it are dead after this call.
+func releaseBundle(b sharing.Bundle) {
+	tensor.PutMatrix(b.Primary)
+	tensor.PutMatrix(b.Hat)
+	tensor.PutMatrix(b.Second)
+}
+
 // zeroBundle returns all-zero shares of the public constant 0.
 func zeroBundle(rows, cols int) sharing.Bundle {
 	mk := func() Mat {
@@ -138,10 +169,11 @@ func (d *SecureDense) Forward(ctx *protocol.Ctx, ts TripleSource, session string
 
 // Backward implements SecureLayer.
 func (d *SecureDense) Backward(ctx *protocol.Ctx, ts TripleSource, session string, dy sharing.Bundle) (sharing.Bundle, error) {
-	xt, err := transposeBundle(d.x)
+	xt, err := pooledTransposeBundle(d.x)
 	if err != nil {
 		return sharing.Bundle{}, err
 	}
+	defer releaseBundle(xt)
 	tw, err := ts.MatMulTriple(session+"/dw/t", d.in, dy.Rows(), d.out)
 	if err != nil {
 		return sharing.Bundle{}, err
@@ -151,10 +183,11 @@ func (d *SecureDense) Backward(ctx *protocol.Ctx, ts TripleSource, session strin
 		return sharing.Bundle{}, err
 	}
 	d.dW = dW
-	wt, err := transposeBundle(d.W)
+	wt, err := pooledTransposeBundle(d.W)
 	if err != nil {
 		return sharing.Bundle{}, err
 	}
+	defer releaseBundle(wt)
 	tx, err := ts.MatMulTriple(session+"/dx/t", dy.Rows(), d.out, d.in)
 	if err != nil {
 		return sharing.Bundle{}, err
@@ -319,10 +352,11 @@ func (c *SecureConv) Backward(ctx *protocol.Ctx, ts TripleSource, session string
 	if err != nil {
 		return sharing.Bundle{}, err
 	}
-	colsT, err := transposeBundle(c.cols)
+	colsT, err := pooledTransposeBundle(c.cols)
 	if err != nil {
 		return sharing.Bundle{}, err
 	}
+	defer releaseBundle(colsT)
 	tw, err := ts.MatMulTriple(session+"/dw/t", c.Shape.PatchSize(), batch*positions, c.OutChannels)
 	if err != nil {
 		return sharing.Bundle{}, err
@@ -332,10 +366,11 @@ func (c *SecureConv) Backward(ctx *protocol.Ctx, ts TripleSource, session string
 		return sharing.Bundle{}, err
 	}
 	c.dW = dW
-	wt, err := transposeBundle(c.W)
+	wt, err := pooledTransposeBundle(c.W)
 	if err != nil {
 		return sharing.Bundle{}, err
 	}
+	defer releaseBundle(wt)
 	tx, err := ts.MatMulTriple(session+"/dx/t", batch*positions, c.OutChannels, c.Shape.PatchSize())
 	if err != nil {
 		return sharing.Bundle{}, err

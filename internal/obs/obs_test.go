@@ -116,6 +116,99 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdgeCases pins Quantile's behaviour at the
+// boundaries of its domain: empty input, clamped q, single-bucket mass,
+// the zero-anchored first bucket, and an overflow-only histogram.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+			if got := (HistogramSnapshot{}).Quantile(q); got != 0 {
+				t.Errorf("empty.Quantile(%g) = %d, want 0", q, got)
+			}
+		}
+		// Count without buckets (hand-built snapshot) must not panic or
+		// divide by zero either.
+		if got := (HistogramSnapshot{Count: 5}).Quantile(0.5); got != 0 {
+			t.Errorf("bucketless.Quantile(0.5) = %d, want 0", got)
+		}
+	})
+
+	t.Run("single-bucket", func(t *testing.T) {
+		r := NewRegistry("t")
+		h := r.Histogram("lat")
+		for i := 0; i < 10; i++ {
+			h.Observe(10 * time.Microsecond) // all mass in (8µs, 16µs]
+		}
+		hs := r.Snapshot().Histograms["lat"]
+		if got := hs.Quantile(0); got != 8_000 {
+			t.Errorf("Quantile(0) = %d, want the bucket's lower bound 8000", got)
+		}
+		if got := hs.Quantile(1); got != 16_000 {
+			t.Errorf("Quantile(1) = %d, want the bucket's upper bound 16000", got)
+		}
+		// Out-of-range q clamps to the endpoints.
+		if got, want := hs.Quantile(-3), hs.Quantile(0); got != want {
+			t.Errorf("Quantile(-3) = %d, want clamp to Quantile(0) = %d", got, want)
+		}
+		if got, want := hs.Quantile(7), hs.Quantile(1); got != want {
+			t.Errorf("Quantile(7) = %d, want clamp to Quantile(1) = %d", got, want)
+		}
+		if got := hs.Quantile(0.5); got <= 8_000 || got > 16_000 {
+			t.Errorf("Quantile(0.5) = %d, want within (8000, 16000]", got)
+		}
+	})
+
+	t.Run("first-bucket-starts-at-zero", func(t *testing.T) {
+		r := NewRegistry("t")
+		h := r.Histogram("lat")
+		h.Observe(500 * time.Nanosecond) // lands in the (0, 1µs] bucket
+		hs := r.Snapshot().Histograms["lat"]
+		if got := hs.Quantile(0); got != 0 {
+			t.Errorf("Quantile(0) = %d, want 0 (first bucket is zero-anchored)", got)
+		}
+		if got := hs.Quantile(1); got != 1_000 {
+			t.Errorf("Quantile(1) = %d, want 1000", got)
+		}
+	})
+
+	t.Run("overflow-bucket-only", func(t *testing.T) {
+		r := NewRegistry("t")
+		h := r.Histogram("lat")
+		h.Observe(time.Hour) // beyond the last finite bound (~16.8s)
+		hs := r.Snapshot().Histograms["lat"]
+		if len(hs.Buckets) != 1 || hs.Buckets[0].UpperNanos != 0 {
+			t.Fatalf("want a single overflow bucket, got %+v", hs.Buckets)
+		}
+		// The overflow bucket is synthesized as (2^24µs, 2^25µs].
+		lower := int64(bucketFloor << (numBuckets - 1))
+		upper := 2 * lower
+		if got := hs.Quantile(0); got != lower {
+			t.Errorf("Quantile(0) = %d, want %d", got, lower)
+		}
+		if got := hs.Quantile(1); got != upper {
+			t.Errorf("Quantile(1) = %d, want %d", got, upper)
+		}
+	})
+
+	t.Run("interpolation-across-buckets", func(t *testing.T) {
+		r := NewRegistry("t")
+		h := r.Histogram("lat")
+		for i := 0; i < 50; i++ {
+			h.Observe(1500 * time.Nanosecond) // (1µs, 2µs]
+		}
+		for i := 0; i < 50; i++ {
+			h.Observe(10 * time.Microsecond) // (8µs, 16µs]
+		}
+		hs := r.Snapshot().Histograms["lat"]
+		if got := hs.Quantile(0.5); got != 2_000 {
+			t.Errorf("Quantile(0.5) = %d, want 2000 (upper bound of the lower bucket)", got)
+		}
+		if got := hs.Quantile(0.75); got != 12_000 {
+			t.Errorf("Quantile(0.75) = %d, want 12000 (midpoint of the upper bucket)", got)
+		}
+	})
+}
+
 // TestRegistryConcurrency exercises get-or-create and updates from many
 // goroutines; run under -race this is the layer's thread-safety proof.
 func TestRegistryConcurrency(t *testing.T) {

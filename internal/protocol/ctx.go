@@ -252,6 +252,7 @@ func (ctx *Ctx) exchangeBundles(session, step string, bundles []sharing.Bundle) 
 			}
 			copy(digests[p][:], msg.Payload)
 			haveDigest[p] = true
+			msg.Release() // digest copied out; recycle the frame buffer
 		}
 		ctx.obsPhase(ctx.obsCommit, commitStart)
 	}
@@ -291,6 +292,9 @@ func (ctx *Ctx) exchangeBundles(session, step string, bundles []sharing.Bundle) 
 			continue
 		}
 		bs, err := transport.DecodeBundles(msg.Payload, len(own))
+		// DecodeBundles copies every share out of the payload, so the
+		// frame buffer can recycle regardless of the verdict below.
+		msg.Release()
 		if err != nil || !shapesMatch(bs, own) {
 			// A delivered-but-malformed opening is the sender's doing,
 			// not the network's: only the opener shapes its payload.

@@ -29,7 +29,9 @@ func RecvBundle(ctx *Ctx, from int, session, step string) (sharing.Bundle, error
 	if err != nil {
 		return sharing.Bundle{}, err
 	}
-	return transport.DecodeBundle(msg.Payload)
+	b, err := transport.DecodeBundle(msg.Payload)
+	msg.Release() // decoded shares own their storage
+	return b, err
 }
 
 // DistributePlainShares sends each listed party its plain additive
@@ -56,6 +58,7 @@ func RecvPlainShare(ctx *HbCCtx, from int, session, step string) (Mat, error) {
 		return Mat{}, err
 	}
 	ms, err := transport.DecodeMatrices(msg.Payload)
+	msg.Release()
 	if err != nil {
 		return Mat{}, err
 	}

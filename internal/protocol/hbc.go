@@ -152,7 +152,9 @@ func revealPairAt(ctx *HbCCtx, session, step string, a, b Mat, r int) (Mat, Mat,
 			return Mat{}, Mat{}, err
 		}
 		for _, p := range ctx.others() {
-			ms, err := decodePair(msgs[p].Payload)
+			msg := msgs[p]
+			ms, err := decodePair(msg.Payload)
+			msg.Release()
 			if err != nil {
 				return Mat{}, Mat{}, fmt.Errorf("protocol: reveal from %d: %w", p, err)
 			}
@@ -177,6 +179,7 @@ func revealPairAt(ctx *HbCCtx, session, step string, a, b Mat, r int) (Mat, Mat,
 		return Mat{}, Mat{}, err
 	}
 	ms, err := decodePair(msg.Payload)
+	msg.Release()
 	if err != nil {
 		return Mat{}, Mat{}, err
 	}

@@ -102,6 +102,7 @@ func (ctx *Ctx) exchangeOptimistic(session, step string, bundles []sharing.Bundl
 			copy(digests[p][0][:], msg.Payload[:commit.Size])
 			copy(digests[p][1][:], msg.Payload[commit.Size:])
 			haveDigest[p] = true
+			msg.Release() // digests copied out; recycle the frame buffer
 		}
 		ctx.obsPhase(ctx.obsCommit, commitStart)
 	}
@@ -132,6 +133,9 @@ func (ctx *Ctx) exchangeOptimistic(session, step string, bundles []sharing.Bundl
 			continue
 		}
 		ms, err := transport.DecodeMatrices(msg.Payload)
+		// DecodeMatrices copies every share out of the payload, so the
+		// frame buffer can recycle regardless of the verdict below.
+		msg.Release()
 		if err != nil || len(ms) != 2*len(own) {
 			res.flagged[p] = true
 			partials[p] = partialPairs(zeroBundlesLike(own))
@@ -256,6 +260,7 @@ func (ctx *Ctx) exchangeOptimistic(session, step string, bundles []sharing.Bundl
 			continue
 		}
 		ms, err := transport.DecodeMatrices(msg.Payload)
+		msg.Release() // decoded hat copies own their storage
 		if err != nil || len(ms) != len(own) {
 			res.flagged[p] = true
 			hats[p] = hatMats(zeroBundlesLike(own))

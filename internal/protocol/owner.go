@@ -206,9 +206,13 @@ func (s *OwnerService) Run() error {
 			}
 			continue
 		}
-		if err := s.dispatch(msg); err != nil {
+		derr := s.dispatch(msg)
+		// Every handler copies what it keeps out of the payload, so the
+		// frame buffer recycles as soon as dispatch returns.
+		msg.Release()
+		if derr != nil {
 			return fmt.Errorf("protocol: owner %s handling %q/%q from %s: %w",
-				transport.ActorName(s.ep.Self()), msg.Session, msg.Step, transport.ActorName(msg.From), err)
+				transport.ActorName(s.ep.Self()), msg.Session, msg.Step, transport.ActorName(msg.From), derr)
 		}
 		s.expireGathers()
 		s.expireTriples()
@@ -567,7 +571,9 @@ func RequestHadamardTriple(ctx *Ctx, session string, rows, cols int) (sharing.Tr
 	if err != nil {
 		return sharing.TripleBundle{}, err
 	}
-	return decodeTriple(msg.Payload)
+	t, err := decodeTriple(msg.Payload)
+	msg.Release() // triple shares are copied out of the payload
+	return t, err
 }
 
 // RequestMatMulTriple asks the model owner for a matrix-product Beaver
@@ -581,7 +587,9 @@ func RequestMatMulTriple(ctx *Ctx, session string, m, n, p int) (sharing.TripleB
 	if err != nil {
 		return sharing.TripleBundle{}, err
 	}
-	return decodeTriple(msg.Payload)
+	t, err := decodeTriple(msg.Payload)
+	msg.Release()
+	return t, err
 }
 
 // RequestAuxPositive asks the model owner for the auxiliary positive
@@ -595,7 +603,9 @@ func RequestAuxPositive(ctx *Ctx, session string, rows, cols int) (sharing.Bundl
 	if err != nil {
 		return sharing.Bundle{}, err
 	}
-	return transport.DecodeBundle(msg.Payload)
+	b, err := transport.DecodeBundle(msg.Payload)
+	msg.Release()
+	return b, err
 }
 
 // CallOwner evaluates the delegated function `name` at actor `owner`
@@ -614,7 +624,9 @@ func CallOwner(ctx *Ctx, owner int, name, session string, arg sharing.Bundle) (s
 	if err != nil {
 		return sharing.Bundle{}, err
 	}
-	return transport.DecodeBundle(msg.Payload)
+	b, err := transport.DecodeBundle(msg.Payload)
+	msg.Release()
+	return b, err
 }
 
 // SendToSink reveals a shared value to actor `owner` under sink `name`

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/trustddl/trustddl/internal/sharing"
+	"github.com/trustddl/trustddl/internal/tensor"
 )
 
 // mulKind selects the product the Beaver combination uses.
@@ -99,7 +100,9 @@ func secMulBT(ctx *Ctx, session string, x, y sharing.Bundle, triple sharing.Trip
 		return sharing.Bundle{}, err
 	}
 	if truncate {
-		z = z.Truncate(ctx.Params.FracBits)
+		// z is freshly combined and exclusively ours: truncate in place
+		// instead of cloning all three shares.
+		z.TruncateInPlace(ctx.Params.FracBits)
 	}
 	return z, nil
 }
@@ -107,27 +110,37 @@ func secMulBT(ctx *Ctx, session string, x, y sharing.Bundle, triple sharing.Trip
 // beaverCombine evaluates c + e∘b + a∘f on each bundle component and
 // adds e∘f to the second share, where ∘ is the element-wise or matrix
 // product according to kind.
+//
+// The intermediate products (eb, af per component, plus ef) live only
+// until their AddInPlace, so they run through pooled scratch matrices:
+// a secure step's Beaver combinations allocate nothing beyond the
+// returned bundle. The products use the Into kernels, which are
+// bit-identical to MatMul/Hadamard.
 func beaverCombine(triple sharing.TripleBundle, e, f Mat, kind mulKind) (sharing.Bundle, error) {
-	mul := func(a, b Mat) (Mat, error) {
+	outRows, outCols := e.Rows, e.Cols
+	if kind == mulMatrix {
+		outCols = f.Cols
+	}
+	scratch := tensor.GetMatrix(outRows, outCols)
+	defer tensor.PutMatrix(scratch)
+	mulInto := func(a, b Mat) error {
 		if kind == mulMatrix {
-			return a.MatMul(b)
+			return a.MatMulInto(b, scratch)
 		}
-		return a.Hadamard(b)
+		return a.HadamardInto(b, scratch)
 	}
 	component := func(c, b, a Mat) (Mat, error) {
-		eb, err := mul(e, b)
-		if err != nil {
+		if err := mulInto(e, b); err != nil {
 			return Mat{}, fmt.Errorf("protocol: beaver e∘b: %w", err)
 		}
-		af, err := mul(a, f)
-		if err != nil {
-			return Mat{}, fmt.Errorf("protocol: beaver a∘f: %w", err)
-		}
-		out, err := c.Add(eb)
+		out, err := c.Add(scratch)
 		if err != nil {
 			return Mat{}, err
 		}
-		if err := out.AddInPlace(af); err != nil {
+		if err := mulInto(a, f); err != nil {
+			return Mat{}, fmt.Errorf("protocol: beaver a∘f: %w", err)
+		}
+		if err := out.AddInPlace(scratch); err != nil {
 			return Mat{}, err
 		}
 		return out, nil
@@ -144,11 +157,10 @@ func beaverCombine(triple sharing.TripleBundle, e, f Mat, kind mulKind) (sharing
 	if err != nil {
 		return sharing.Bundle{}, err
 	}
-	ef, err := mul(e, f)
-	if err != nil {
+	if err := mulInto(e, f); err != nil {
 		return sharing.Bundle{}, fmt.Errorf("protocol: beaver e∘f: %w", err)
 	}
-	if err := second.AddInPlace(ef); err != nil {
+	if err := second.AddInPlace(scratch); err != nil {
 		return sharing.Bundle{}, err
 	}
 	return sharing.Bundle{Primary: primary, Hat: hat, Second: second}, nil

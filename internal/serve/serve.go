@@ -13,6 +13,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -63,6 +64,7 @@ type reply struct {
 }
 
 type pending struct {
+	ctx   context.Context
 	img   mnist.Image
 	enq   time.Time
 	reply chan reply
@@ -81,6 +83,7 @@ type Gateway struct {
 
 	requests  *obs.Counter // admitted + rejected
 	rejected  *obs.Counter // load-shed by the bounded queue
+	cancelled *obs.Counter // dropped before dispatch: caller's ctx ended
 	responses *obs.Counter // successful replies
 	errored   *obs.Counter // replies carrying an engine error
 	batches   *obs.Counter // secure passes dispatched
@@ -108,6 +111,7 @@ func New(inf Inferencer, cfg Config) *Gateway {
 		stop:      make(chan struct{}),
 		requests:  cfg.Obs.Counter("serve.requests"),
 		rejected:  cfg.Obs.Counter("serve.rejected"),
+		cancelled: cfg.Obs.Counter("serve.cancelled"),
 		responses: cfg.Obs.Counter("serve.responses"),
 		errored:   cfg.Obs.Counter("serve.errors"),
 		batches:   cfg.Obs.Counter("serve.batches"),
@@ -121,12 +125,20 @@ func New(inf Inferencer, cfg Config) *Gateway {
 	return g
 }
 
-// Classify queues one image and blocks until its batch is served.
-// Returns ErrOverloaded without blocking when the admission queue is
-// full, and ErrClosed when the gateway shuts down first.
-func (g *Gateway) Classify(img mnist.Image) (int, error) {
+// Classify queues one image and blocks until its batch is served or
+// ctx ends. Returns ErrOverloaded without blocking when the admission
+// queue is full, ErrClosed when the gateway shuts down first, and
+// ctx.Err() when the caller gives up — in that case the queued entry
+// is dropped before dispatch (it never wastes a secure-pass slot) and
+// counted in serve.cancelled.
+func (g *Gateway) Classify(ctx context.Context, img mnist.Image) (int, error) {
 	g.requests.Inc()
-	p := &pending{img: img, enq: time.Now(), reply: make(chan reply, 1)}
+	if err := ctx.Err(); err != nil {
+		// Dead on arrival: don't occupy a queue slot at all.
+		g.cancelled.Inc()
+		return 0, err
+	}
+	p := &pending{ctx: ctx, img: img, enq: time.Now(), reply: make(chan reply, 1)}
 	// The enqueue happens under the read lock so Close (write lock)
 	// cannot slip between the closed check and the send: once closed is
 	// set, nothing new enters the queue, and everything already in it is
@@ -146,14 +158,22 @@ func (g *Gateway) Classify(img mnist.Image) (int, error) {
 		g.rejected.Inc()
 		return 0, ErrOverloaded
 	}
-	r := <-p.reply
-	if r.err != nil {
-		g.errored.Inc()
-		return 0, r.err
+	select {
+	case r := <-p.reply:
+		if r.err != nil {
+			g.errored.Inc()
+			return 0, r.err
+		}
+		g.responses.Inc()
+		g.latency.Observe(time.Since(p.enq))
+		return r.label, nil
+	case <-ctx.Done():
+		// The entry stays queued; the dispatcher notices the dead ctx
+		// and drops it before the next pass. The reply channel is
+		// buffered, so a reply that races the cancellation is simply
+		// discarded and nothing blocks.
+		return 0, ctx.Err()
 	}
-	g.responses.Inc()
-	g.latency.Observe(time.Since(p.enq))
-	return r.label, nil
 }
 
 // dispatch is the single batcher loop: take one request, wait at most
@@ -213,8 +233,24 @@ func (g *Gateway) collect(first *pending) []*pending {
 
 // serve runs one secure pass over the batch and replies to every
 // member. A pass error fans out to the whole batch — the images shared
-// one protocol execution, so they share its fate.
+// one protocol execution, so they share its fate. Entries whose caller
+// already gave up are dropped here, after collection and before the
+// pass, so a cancelled request never occupies a secure-pass slot; an
+// all-cancelled batch skips the pass entirely.
 func (g *Gateway) serve(batch []*pending) {
+	live := batch[:0]
+	for _, p := range batch {
+		if err := p.ctx.Err(); err != nil {
+			g.cancelled.Inc()
+			p.reply <- reply{err: err} // buffered; discarded by the gone caller
+			continue
+		}
+		live = append(live, p)
+	}
+	batch = live
+	if len(batch) == 0 {
+		return
+	}
 	imgs := make([]mnist.Image, len(batch))
 	for i, p := range batch {
 		imgs[i] = p.img
@@ -318,11 +354,15 @@ func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	var img mnist.Image
 	copy(img.Pixels[:], req.Pixels)
-	label, err := g.Classify(img)
+	label, err := g.Classify(r.Context(), img)
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client hung up; nobody is reading the response. 499 in
+		// nginx parlance — net/http has no name for it.
+		w.WriteHeader(499)
 	case err != nil:
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	default:

@@ -2,6 +2,7 @@ package serve_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -85,7 +86,7 @@ func TestGatewayRoutesConcurrentClients(t *testing.T) {
 			defer wg.Done()
 			for k := 0; k < 4; k++ {
 				tag := c*100 + k
-				label, err := g.Classify(taggedImage(tag))
+				label, err := g.Classify(context.Background(), taggedImage(tag))
 				if err != nil {
 					errs <- err
 					return
@@ -131,7 +132,7 @@ func TestGatewayBackpressure(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			label, err := g.Classify(taggedImage(i))
+			label, err := g.Classify(context.Background(), taggedImage(i))
 			switch {
 			case errors.Is(err, serve.ErrOverloaded):
 				shed.Add(1)
@@ -174,12 +175,92 @@ func TestGatewayEngineErrorFansOut(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := g.Classify(taggedImage(1)); !errors.Is(err, boom) {
+			if _, err := g.Classify(context.Background(), taggedImage(1)); !errors.Is(err, boom) {
 				t.Errorf("got %v, want engine error", err)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// TestGatewayCancelledRequestDropped checks a caller that gives up is
+// unblocked immediately and its queued entry never reaches the engine:
+// the dispatcher drops it before the pass and counts the drop.
+func TestGatewayCancelledRequestDropped(t *testing.T) {
+	eng := &stubEngine{delay: 20 * time.Millisecond}
+	reg := obs.NewRegistry("test")
+	g := serve.New(eng, serve.Config{MaxBatch: 1, MaxDelay: -1, QueueBound: 16, Obs: reg})
+	defer g.Close()
+
+	// A occupies the engine for ~20ms so B sits in the queue.
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Classify(context.Background(), taggedImage(1))
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := g.Classify(ctx, taggedImage(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled classify: got %v, want context.Canceled", err)
+	}
+	if waited := time.Since(start); waited > 15*time.Millisecond {
+		t.Errorf("cancelled caller blocked %v; should unblock on ctx, not on the batch", waited)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request: %v", err)
+	}
+	// C proves the gateway still serves after the drop.
+	if label, err := g.Classify(context.Background(), taggedImage(3)); err != nil || label != 3 {
+		t.Fatalf("post-cancel classify: label %d, err %v", label, err)
+	}
+	if got := reg.Counter("serve.cancelled").Value(); got != 1 {
+		t.Fatalf("serve.cancelled = %d, want 1", got)
+	}
+	// The dropped entry must not have been carried by any pass.
+	if got := reg.Counter("serve.images").Value(); got != 2 {
+		t.Fatalf("serve.images = %d, want 2 (cancelled image dispatched anyway)", got)
+	}
+
+	// Dead-on-arrival context: rejected before taking a queue slot.
+	doa, cancelDOA := context.WithCancel(context.Background())
+	cancelDOA()
+	if _, err := g.Classify(doa, taggedImage(4)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DOA classify: got %v, want context.Canceled", err)
+	}
+	if got := reg.Counter("serve.cancelled").Value(); got != 2 {
+		t.Fatalf("serve.cancelled after DOA = %d, want 2", got)
+	}
+}
+
+// TestHandlerClientDisconnect checks handleInfer surfaces a dead
+// request context as 499 without dispatching the image.
+func TestHandlerClientDisconnect(t *testing.T) {
+	reg := obs.NewRegistry("test")
+	g := serve.New(&stubEngine{}, serve.Config{Obs: reg})
+	defer g.Close()
+
+	img := taggedImage(5)
+	body, _ := json.Marshal(serve.Request{Pixels: img.Pixels[:]})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/infer", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	g.Handler().ServeHTTP(rec, req)
+	if rec.Code != 499 {
+		t.Fatalf("disconnected client: got %d, want 499", rec.Code)
+	}
+	if got := reg.Counter("serve.cancelled").Value(); got != 1 {
+		t.Fatalf("serve.cancelled = %d, want 1", got)
+	}
+	if got := reg.Counter("serve.images").Value(); got != 0 {
+		t.Fatalf("serve.images = %d, want 0", got)
+	}
 }
 
 // TestGatewayCloseAnswersEverything races Close against a burst of
@@ -194,7 +275,7 @@ func TestGatewayCloseAnswersEverything(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			label, err := g.Classify(taggedImage(i))
+			label, err := g.Classify(context.Background(), taggedImage(i))
 			if err == nil && label != i {
 				t.Errorf("request %d answered with label %d", i, label)
 			}
@@ -210,7 +291,7 @@ func TestGatewayCloseAnswersEverything(t *testing.T) {
 	}()
 	wg.Wait()
 	<-done
-	if _, err := g.Classify(taggedImage(0)); !errors.Is(err, serve.ErrClosed) {
+	if _, err := g.Classify(context.Background(), taggedImage(0)); !errors.Is(err, serve.ErrClosed) {
 		t.Fatalf("classify after close: got %v, want ErrClosed", err)
 	}
 	g.Close() // idempotent
@@ -285,7 +366,7 @@ func TestLoadThousandsOfClients(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			for k := 0; k < 2; k++ {
-				label, err := g.Classify(taggedImage(i))
+				label, err := g.Classify(context.Background(), taggedImage(i))
 				switch {
 				case errors.Is(err, serve.ErrOverloaded):
 					shed.Add(1)

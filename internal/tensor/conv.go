@@ -197,6 +197,106 @@ func Im2ColBatch[T Element](c ConvShape, x Matrix[T]) (Matrix[T], error) {
 	return out, nil
 }
 
+// Conv2DBatch convolves every image in x (one flattened InChannels·H·W
+// image per row) with the kernel matrix w (PatchSize × OutChannels)
+// without materializing the patch matrix. It is Im2ColBatch followed by
+// MatMul fused into one kernel: each output row walks its receptive
+// field in the same (ch, ky, kx) order the patch row would be laid out
+// in, skips exactly the elements MatMul's a==0 fast path would skip
+// (padding positions and zero pixels), and accumulates in the same
+// ascending-index order — so the result is bit-identical to the
+// two-step path in both element domains. The patch matrix for the
+// Table I conv is 196×25 per image; the secure path still materializes
+// it (the protocol exchanges masked patch-shaped values), but plaintext
+// and baseline layers get the memory traffic back.
+func Conv2DBatch[T Element](c ConvShape, x, w Matrix[T]) (Matrix[T], error) {
+	positions := c.OutHeight() * c.OutWidth()
+	out := Matrix[T]{Rows: x.Rows * positions, Cols: w.Cols, Data: make([]T, x.Rows*positions*w.Cols)}
+	if err := Conv2DBatchInto(c, x, w, out); err != nil {
+		return Matrix[T]{}, err
+	}
+	return out, nil
+}
+
+// Conv2DBatchInto is Conv2DBatch writing into a preallocated out of
+// shape (B·OutH·OutW) × w.Cols; prior contents are overwritten.
+func Conv2DBatchInto[T Element](c ConvShape, x, w, out Matrix[T]) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	inLen := c.InChannels * c.Height * c.Width
+	if x.Cols != inLen {
+		return fmt.Errorf("tensor: fused conv batch width %d, want %d", x.Cols, inLen)
+	}
+	if w.Rows != c.PatchSize() {
+		return fmt.Errorf("tensor: fused conv kernel %dx%d, want %d rows", w.Rows, w.Cols, c.PatchSize())
+	}
+	positions := c.OutHeight() * c.OutWidth()
+	if out.Rows != x.Rows*positions || out.Cols != w.Cols || len(out.Data) != x.Rows*positions*w.Cols {
+		return fmt.Errorf("tensor: fused conv into %dx%d, want %dx%d", out.Rows, out.Cols, x.Rows*positions, w.Cols)
+	}
+	// Partition by output row, exactly like MatMul over the stacked
+	// patch matrix: each goroutine owns whole rows, so per-element
+	// accumulation order is the serial one.
+	rows := x.Rows * positions
+	ops := rows * c.PatchSize() * w.Cols
+	if serialFor(rows, ops) {
+		conv2DRows(c, x.Data, w, out, 0, rows)
+		return nil
+	}
+	parallelFor(rows, ops, func(lo, hi int) {
+		conv2DRows(c, x.Data, w, out, lo, hi)
+	})
+	return nil
+}
+
+// conv2DRows computes stacked output rows [lo, hi) of the fused
+// convolution. Row i = s·positions + oy·OutW + ox is the dot product of
+// sample s's receptive field at (oy, ox) with every kernel column.
+func conv2DRows[T Element](c ConvShape, x []T, w, out Matrix[T], lo, hi int) {
+	outW := c.OutWidth()
+	positions := c.OutHeight() * outW
+	hw := c.Height * c.Width
+	inLen := c.InChannels * hw
+	for i := lo; i < hi; i++ {
+		s := i / positions
+		p := i % positions
+		oy := p / outW
+		ox := p % outW
+		img := x[s*inLen : (s+1)*inLen]
+		outRow := out.Data[i*w.Cols : (i+1)*w.Cols]
+		for j := range outRow {
+			outRow[j] = 0
+		}
+		idx := 0
+		for ch := 0; ch < c.InChannels; ch++ {
+			base := ch * hw
+			for ky := 0; ky < c.Kernel; ky++ {
+				iy := oy*c.Stride + ky - c.Pad
+				if iy < 0 || iy >= c.Height {
+					// The whole kernel row falls in padding: the patch row
+					// holds zeros here, which MatMul would skip.
+					idx += c.Kernel
+					continue
+				}
+				rowBase := base + iy*c.Width
+				for kx := 0; kx < c.Kernel; kx++ {
+					ix := ox*c.Stride + kx - c.Pad
+					if ix >= 0 && ix < c.Width {
+						if a := img[rowBase+ix]; a != 0 {
+							wRow := w.Data[idx*w.Cols : (idx+1)*w.Cols]
+							for j, b := range wRow {
+								outRow[j] += a * b
+							}
+						}
+					}
+					idx++
+				}
+			}
+		}
+	}
+}
+
 // Col2ImBatch is the adjoint of Im2ColBatch: it folds a (B·P)×PatchSize
 // patch gradient back into a batch matrix B×(InChannels·H·W).
 func Col2ImBatch[T Element](c ConvShape, cols Matrix[T], batch int) (Matrix[T], error) {

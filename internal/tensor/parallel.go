@@ -88,6 +88,13 @@ func workersFor(n, ops int) int {
 	return p
 }
 
+// serialFor reports whether a kernel over n outer units totalling ops
+// element operations will run serially. The allocation-free kernels
+// check this before constructing their parallelFor closure: a closure
+// that may reach a goroutine is heap-allocated at creation even when
+// the serial path is taken, which would break the zero-alloc pin.
+func serialFor(n, ops int) bool { return workersFor(n, ops) <= 1 }
+
 // parallelFor splits the index range [0, n) into at most
 // workersFor(n, ops) contiguous chunks and runs fn on each chunk,
 // concurrently when more than one chunk results. fn must only write

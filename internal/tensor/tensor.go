@@ -175,6 +175,31 @@ func (m Matrix[T]) Hadamard(o Matrix[T]) (Matrix[T], error) {
 	return out, nil
 }
 
+// HadamardInto computes m ⊙ o into the preallocated out (same shape as
+// both operands, prior contents overwritten). Bit-identical to
+// Hadamard; out may alias m or o.
+func (m Matrix[T]) HadamardInto(o, out Matrix[T]) error {
+	if !m.SameShape(o) {
+		return shapeErr("hadamard", m, o)
+	}
+	if !m.SameShape(out) || len(out.Data) != len(m.Data) {
+		return shapeErr("hadamard into", out, m)
+	}
+	n := len(m.Data)
+	if serialFor(n, n) {
+		for i := 0; i < n; i++ {
+			out.Data[i] = m.Data[i] * o.Data[i]
+		}
+		return nil
+	}
+	parallelFor(n, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = m.Data[i] * o.Data[i]
+		}
+	})
+	return nil
+}
+
 // MatMul returns the matrix product m × o (the "×" operator of
 // SecMatMul). Ring elements carry doubled fixed-point scale until
 // truncated by the caller.
@@ -183,49 +208,106 @@ func (m Matrix[T]) MatMul(o Matrix[T]) (Matrix[T], error) {
 		return Matrix[T]{}, fmt.Errorf("tensor: matmul %dx%d × %dx%d: inner dimensions differ", m.Rows, m.Cols, o.Rows, o.Cols)
 	}
 	out := Matrix[T]{Rows: m.Rows, Cols: o.Cols, Data: make([]T, m.Rows*o.Cols)}
+	m.matMulInto(o, out)
+	return out, nil
+}
+
+// MatMulInto computes m × o into the preallocated out, which must have
+// shape m.Rows × o.Cols (its prior contents are overwritten). The
+// accumulation order — and therefore the result — is bit-identical to
+// MatMul; the only difference is that out's storage is reused, so the
+// steady-state loop allocates nothing.
+func (m Matrix[T]) MatMulInto(o, out Matrix[T]) error {
+	if m.Cols != o.Rows {
+		return fmt.Errorf("tensor: matmul %dx%d × %dx%d: inner dimensions differ", m.Rows, m.Cols, o.Rows, o.Cols)
+	}
+	if out.Rows != m.Rows || out.Cols != o.Cols || len(out.Data) != m.Rows*o.Cols {
+		return fmt.Errorf("tensor: matmul into %dx%d, want %dx%d", out.Rows, out.Cols, m.Rows, o.Cols)
+	}
+	m.matMulInto(o, out)
+	return nil
+}
+
+func (m Matrix[T]) matMulInto(o, out Matrix[T]) {
 	// Partition by output row: each goroutine owns rows [lo, hi) of the
 	// result and runs the full k-reduction for them, so per-element
 	// accumulation order is identical to the serial loop.
-	parallelFor(m.Rows, m.Rows*m.Cols*o.Cols, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			mRow := m.Data[i*m.Cols : (i+1)*m.Cols]
-			outRow := out.Data[i*o.Cols : (i+1)*o.Cols]
-			for k, a := range mRow {
-				if a == 0 {
-					continue
-				}
-				oRow := o.Data[k*o.Cols : (k+1)*o.Cols]
-				for j, b := range oRow {
-					outRow[j] += a * b
-				}
+	ops := m.Rows * m.Cols * o.Cols
+	if serialFor(m.Rows, ops) {
+		matMulRows(m, o, out, 0, m.Rows)
+		return
+	}
+	parallelFor(m.Rows, ops, func(lo, hi int) {
+		matMulRows(m, o, out, lo, hi)
+	})
+}
+
+func matMulRows[T Element](m, o, out Matrix[T], lo, hi int) {
+	for i := lo; i < hi; i++ {
+		mRow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		outRow := out.Data[i*o.Cols : (i+1)*o.Cols]
+		for j := range outRow {
+			outRow[j] = 0
+		}
+		for k, a := range mRow {
+			if a == 0 {
+				continue
+			}
+			oRow := o.Data[k*o.Cols : (k+1)*o.Cols]
+			for j, b := range oRow {
+				outRow[j] += a * b
 			}
 		}
-	})
-	return out, nil
+	}
 }
 
 // Transpose returns mᵀ.
 func (m Matrix[T]) Transpose() Matrix[T] {
 	out := Matrix[T]{Rows: m.Cols, Cols: m.Rows, Data: make([]T, len(m.Data))}
-	parallelFor(m.Rows, len(m.Data), func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			for c := 0; c < m.Cols; c++ {
-				out.Data[c*m.Rows+r] = m.Data[r*m.Cols+c]
-			}
-		}
-	})
+	m.transposeInto(out)
 	return out
 }
 
-// Reshape returns a matrix sharing no storage with m but holding the
-// same elements in a rows×cols layout (a "local transformation", §III-C).
+// TransposeInto writes mᵀ into the preallocated out, which must have
+// shape m.Cols × m.Rows. out must not alias m's storage (a transpose
+// cannot be computed in place over a shared buffer).
+func (m Matrix[T]) TransposeInto(out Matrix[T]) error {
+	if out.Rows != m.Cols || out.Cols != m.Rows || len(out.Data) != len(m.Data) {
+		return fmt.Errorf("tensor: transpose into %dx%d, want %dx%d", out.Rows, out.Cols, m.Cols, m.Rows)
+	}
+	m.transposeInto(out)
+	return nil
+}
+
+func (m Matrix[T]) transposeInto(out Matrix[T]) {
+	if serialFor(m.Rows, len(m.Data)) {
+		transposeRows(m, out, 0, m.Rows)
+		return
+	}
+	parallelFor(m.Rows, len(m.Data), func(lo, hi int) {
+		transposeRows(m, out, lo, hi)
+	})
+}
+
+func transposeRows[T Element](m, out Matrix[T], lo, hi int) {
+	for r := lo; r < hi; r++ {
+		for c := 0; c < m.Cols; c++ {
+			out.Data[c*m.Rows+r] = m.Data[r*m.Cols+c]
+		}
+	}
+}
+
+// Reshape returns a rows×cols view over m's storage (a "local
+// transformation", §III-C: relabeling the row-major layout moves no
+// data). The view aliases m — writes through either are visible in
+// both — so callers that need an independent copy must Clone first.
+// Every in-tree caller feeds the view into operations that allocate
+// their results, never into in-place mutation of a retained operand.
 func (m Matrix[T]) Reshape(rows, cols int) (Matrix[T], error) {
-	if rows*cols != len(m.Data) || rows <= 0 || cols <= 0 {
+	if rows <= 0 || cols <= 0 || rows*cols != len(m.Data) {
 		return Matrix[T]{}, fmt.Errorf("tensor: cannot reshape %dx%d to %dx%d", m.Rows, m.Cols, rows, cols)
 	}
-	out := m.Clone()
-	out.Rows, out.Cols = rows, cols
-	return out, nil
+	return Matrix[T]{Rows: rows, Cols: cols, Data: m.Data}, nil
 }
 
 // Map returns a new matrix with f applied element-wise. On matrices
@@ -234,12 +316,27 @@ func (m Matrix[T]) Reshape(rows, cols int) (Matrix[T], error) {
 // a stateless truncation/clamp closure).
 func (m Matrix[T]) Map(f func(T) T) Matrix[T] {
 	out := m.Clone()
-	parallelFor(len(out.Data), len(out.Data), func(lo, hi int) {
+	out.MapInplace(f)
+	return out
+}
+
+// MapInplace applies f element-wise to m's own storage. Like Map, f
+// may be called concurrently and must be pure. Callers own the
+// aliasing question: mutating a matrix whose storage is shared (e.g. a
+// Reshape view) mutates every view of it.
+func (m Matrix[T]) MapInplace(f func(T) T) {
+	n := len(m.Data)
+	if serialFor(n, n) {
+		for i := 0; i < n; i++ {
+			m.Data[i] = f(m.Data[i])
+		}
+		return
+	}
+	parallelFor(n, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			out.Data[i] = f(out.Data[i])
+			m.Data[i] = f(m.Data[i])
 		}
 	})
-	return out
 }
 
 // Fill sets every element to v.

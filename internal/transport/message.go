@@ -69,6 +69,26 @@ type Message struct {
 	// sends (per-destination ordering among delayed messages is kept).
 	// Set by fault-injection interceptors; never travels on the wire.
 	DelayBy time.Duration
+
+	// poolBuf is the pooled frame buffer backing Payload on the TCP
+	// read path; Release returns it. Nil on every other transport.
+	poolBuf []byte
+}
+
+// Release returns the pooled frame buffer backing Payload (set by the
+// TCP read path) and must only be called once the receiver is fully
+// done with Payload and anything aliasing it. It is strictly opt-in: a
+// receiver that never calls it loses nothing but the recycle. Because
+// Message travels by value, Release must be called at most once across
+// all copies of a message — the niling here only protects the copy it
+// is called on. Calling it on messages from other transports, or
+// repeatedly on the same copy, is a no-op.
+func (m *Message) Release() {
+	if m.poolBuf != nil {
+		putBuf(m.poolBuf)
+		m.poolBuf = nil
+		m.Payload = nil
+	}
 }
 
 // frameHeader is the exact framing cost per message on the TCP

@@ -365,7 +365,8 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 			return
 		}
 		if msg.To != e.self {
-			continue // misrouted frame: not for this endpoint
+			msg.Release() // misrouted frame: not for this endpoint
+			continue
 		}
 		if msg.From != peer {
 			// Wire attribution disagrees with the pinned connection
@@ -381,6 +382,7 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 			// the receive meter.
 			e.net.meter.recordRecv(msg)
 		case <-e.done:
+			msg.Release() // dropped by a concurrent Close
 			return
 		}
 	}
@@ -654,7 +656,10 @@ func writeFrame(w io.Writer, msg Message) (int, error) {
 	if body > maxFrame {
 		return 0, fmt.Errorf("transport: frame of %d bytes exceeds limit", body)
 	}
-	buf := make([]byte, 0, 4+body)
+	// The frame buffer is pooled: Write hands the bytes to the kernel
+	// (or copies them into a test's bytes.Buffer), so the buffer is dead
+	// the moment Write returns, whatever the outcome.
+	buf := getBuf(4 + body)[:0]
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(body))
 	buf = append(buf, byte(msg.From), byte(msg.To))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(msg.Session)))
@@ -662,7 +667,9 @@ func writeFrame(w io.Writer, msg Message) (int, error) {
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(msg.Step)))
 	buf = append(buf, msg.Step...)
 	buf = append(buf, msg.Payload...)
-	return w.Write(buf)
+	n, err := w.Write(buf)
+	putBuf(buf)
+	return n, err
 }
 
 func readFrame(r io.Reader) (Message, error) {
@@ -674,18 +681,25 @@ func readFrame(r io.Reader) (Message, error) {
 	if body > maxFrame {
 		return Message{}, fmt.Errorf("transport: frame length %d exceeds limit", body)
 	}
-	buf := make([]byte, body)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	// The body buffer is pooled; Payload aliases it, so it is recycled
+	// either here (rejected frame) or by the receiver's opt-in
+	// Message.Release once the payload has been decoded.
+	raw := getBuf(int(body))
+	if _, err := io.ReadFull(r, raw); err != nil {
+		putBuf(raw)
 		return Message{}, err
 	}
+	buf := raw
 	if len(buf) < 6 {
+		putBuf(raw)
 		return Message{}, errors.New("transport: frame too short")
 	}
-	msg := Message{From: int(buf[0]), To: int(buf[1])}
+	msg := Message{From: int(buf[0]), To: int(buf[1]), poolBuf: raw}
 	buf = buf[2:]
 	sessLen := int(binary.LittleEndian.Uint16(buf))
 	buf = buf[2:]
 	if len(buf) < sessLen+2 {
+		putBuf(raw)
 		return Message{}, errors.New("transport: session field truncated")
 	}
 	msg.Session = string(buf[:sessLen])
@@ -693,6 +707,7 @@ func readFrame(r io.Reader) (Message, error) {
 	stepLen := int(binary.LittleEndian.Uint16(buf))
 	buf = buf[2:]
 	if len(buf) < stepLen {
+		putBuf(raw)
 		return Message{}, errors.New("transport: step field truncated")
 	}
 	msg.Step = string(buf[:stepLen])

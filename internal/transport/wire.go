@@ -3,6 +3,8 @@ package transport
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
+	"unsafe"
 
 	"github.com/trustddl/trustddl/internal/sharing"
 	"github.com/trustddl/trustddl/internal/tensor"
@@ -13,13 +15,54 @@ import (
 // little-endian with explicit dimensions — no reflection, no external
 // dependencies, deterministic byte counts for the communication-cost
 // accounting.
+//
+// On little-endian hosts the element loops are replaced by bulk copies:
+// a []int64 reinterpreted as bytes IS its little-endian wire image, so
+// encode and decode move whole matrix bodies with one memmove each.
+// The portable per-element path is kept for big-endian hosts and as the
+// measured "before" side of the codec benchmarks (SetBulkCodec).
 
 const matrixHeaderLen = 8 // two uint32 dimensions
+
+// hostLittleEndian is fixed at process start; the bulk byte-copy paths
+// are only byte-order-correct on little-endian hardware.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+var bulkCodec atomic.Bool
+
+func init() { bulkCodec.Store(hostLittleEndian) }
+
+// SetBulkCodec toggles the bulk-copy codec paths, returning the
+// previous setting. Enabling it on a big-endian host is a no-op: the
+// portable loops are the only correct option there. The toggle exists
+// for the hot-path benchmark, whose "before" side is the portable
+// per-element codec.
+func SetBulkCodec(on bool) bool {
+	return bulkCodec.Swap(on && hostLittleEndian)
+}
+
+// BulkCodecEnabled reports whether matrix bodies move via bulk copies.
+func BulkCodecEnabled() bool { return bulkCodec.Load() }
+
+// int64Bytes reinterprets d as its in-memory byte image. Caller must
+// have checked hostLittleEndian before treating it as wire format.
+func int64Bytes(d []int64) []byte {
+	if len(d) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&d[0])), 8*len(d))
+}
 
 // AppendMatrix serializes m onto buf and returns the extended slice.
 func AppendMatrix(buf []byte, m tensor.Matrix[int64]) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Rows))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Cols))
+	if bulkCodec.Load() {
+		return append(buf, int64Bytes(m.Data)...)
+	}
 	for _, v := range m.Data {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
 	}
@@ -32,22 +75,30 @@ func DecodeMatrix(buf []byte) (tensor.Matrix[int64], []byte, error) {
 	if len(buf) < matrixHeaderLen {
 		return tensor.Matrix[int64]{}, nil, fmt.Errorf("transport: matrix header truncated (%d bytes)", len(buf))
 	}
-	rows := int(binary.LittleEndian.Uint32(buf))
-	cols := int(binary.LittleEndian.Uint32(buf[4:]))
+	// All bound arithmetic runs in int64: on 32-bit platforms both the
+	// rows*cols product of two in-range 24-bit dimensions (up to 2^48)
+	// and the 8*n byte count (up to 2^31) overflow int and could slip
+	// past checks done in the native width.
+	rows := int64(binary.LittleEndian.Uint32(buf))
+	cols := int64(binary.LittleEndian.Uint32(buf[4:]))
 	buf = buf[matrixHeaderLen:]
 	// Bound each dimension before multiplying: two attacker-chosen
-	// 32-bit values can overflow the int64 product and slip past a
+	// 32-bit values can overflow even the int64 product and slip past a
 	// product-only check (found by FuzzDecodeMatrix).
 	if rows <= 0 || cols <= 0 || rows > (1<<24) || cols > (1<<24) || rows*cols > (1<<28) {
 		return tensor.Matrix[int64]{}, nil, fmt.Errorf("transport: implausible matrix shape %dx%d", rows, cols)
 	}
 	n := rows * cols
-	if len(buf) < 8*n {
+	if int64(len(buf)) < 8*n {
 		return tensor.Matrix[int64]{}, nil, fmt.Errorf("transport: matrix body truncated: need %d bytes, have %d", 8*n, len(buf))
 	}
-	m := tensor.Matrix[int64]{Rows: rows, Cols: cols, Data: make([]int64, n)}
-	for i := 0; i < n; i++ {
-		m.Data[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	m := tensor.Matrix[int64]{Rows: int(rows), Cols: int(cols), Data: make([]int64, n)}
+	if bulkCodec.Load() {
+		copy(int64Bytes(m.Data), buf)
+	} else {
+		for i := range m.Data {
+			m.Data[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
 	}
 	return m, buf[8*n:], nil
 }

@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+func benchCodec(b *testing.B, bulk bool) {
+	prev := SetBulkCodec(bulk)
+	defer SetBulkCodec(prev)
+	if bulk && !BulkCodecEnabled() {
+		b.Skip("host is big-endian; bulk codec unavailable")
+	}
+	m := tensor.MustNew[int64](4, 980)
+	for i := range m.Data {
+		m.Data[i] = int64(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	buf := make([]byte, 0, 8*len(m.Data)+8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendMatrix(buf[:0], m)
+		if _, _, err := DecodeMatrix(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireCodecPortable(b *testing.B) { benchCodec(b, false) }
+func BenchmarkWireCodecBulk(b *testing.B)     { benchCodec(b, true) }
+
+// benchFrame measures the framed write path (what every protocol
+// message pays) with and without the frame buffer pool.
+func benchFrame(b *testing.B, pooled bool) {
+	prev := SetFramePooling(pooled)
+	defer SetFramePooling(prev)
+	payload := make([]byte, 8*4*980)
+	w := discardWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := writeFrame(w, Message{From: 1, To: 2, Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func BenchmarkWriteFrameUnpooled(b *testing.B) { benchFrame(b, false) }
+func BenchmarkWriteFramePooled(b *testing.B)   { benchFrame(b, true) }
