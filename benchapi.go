@@ -121,6 +121,28 @@ func WriteHotpathJSON(path string, cfg HotpathConfig, cells []HotpathCell) error
 // FormatHotpath renders a Hotpath measurement as a before/after table.
 func FormatHotpath(cells []HotpathCell) string { return bench.FormatHotpath(cells) }
 
+// ScaleConfig parameterizes the committee scale-out measurement:
+// sharded epoch wall time and multi-engine gateway throughput over a
+// latency-injected transport, plus final accuracy with and without a
+// fully poisoned committee, per committee count.
+type ScaleConfig = bench.ScaleConfig
+
+// ScaleRow is one measured (committee count, poisoned?) cell.
+type ScaleRow = bench.ScaleRow
+
+// ScaleBench measures what committee sharding buys (epoch speedup,
+// serving throughput) and what a fully compromised committee costs
+// (conviction, re-route, accuracy under robust aggregation).
+func ScaleBench(cfg ScaleConfig) ([]ScaleRow, error) { return bench.Scale(cfg) }
+
+// WriteScaleJSON persists a ScaleBench measurement (BENCH_scale.json).
+func WriteScaleJSON(path string, cfg ScaleConfig, rows []ScaleRow) error {
+	return bench.WriteScaleJSON(path, cfg, rows)
+}
+
+// FormatScale renders a ScaleBench measurement as a table.
+func FormatScale(rows []ScaleRow) string { return bench.FormatScale(rows) }
+
 // PrecisionConfig parameterizes the fixed-point precision sweep (the
 // ablation behind the paper's §IV-B choice of 20 fractional bits).
 type PrecisionConfig = bench.PrecisionConfig

@@ -6,9 +6,17 @@
 // Usage:
 //
 //	trustddl-bench [-iters N] [-seed S] [-frameworks a,b,...] [-parallelism P] [-prefetch-depth N]
+//	               [-pooling=true] [-bulk-codec=true]
 //	               [-obs] [-obs-json PATH] [-metrics-addr HOST:PORT]
 //	               [-serve] [-serve-batches 1,2,4,8] [-serve-json PATH]
 //	               [-hotpath] [-hotpath-batch N] [-hotpath-json PATH]
+//	               [-scale] [-scale-committees 1,2,4] [-scale-json PATH]
+//
+// With -scale the committee scale-out benchmark runs instead: the
+// training epoch sharded across N independent 3-party committees over a
+// latency-injected transport, honest and with one committee fully
+// poisoned — epoch speedup, multi-engine gateway throughput, and final
+// accuracy under Byzantine-robust delta aggregation.
 //
 // With -hotpath the hot-path benchmark runs instead: the batched secure
 // inference pass over loopback TCP plus its extracted kernels (fused
@@ -61,10 +69,20 @@ func run(args []string) error {
 	hotpathRun := fs.Bool("hotpath", false, "run the hot-path benchmark (buffer pools, bulk codec, fused conv: before/after ns, B and allocs per op) instead of Table II")
 	hotpathBatch := fs.Int("hotpath-batch", 4, "with -hotpath, images per secure pass")
 	hotpathJSON := fs.String("hotpath-json", "", "with -hotpath, also write the report to this file (e.g. BENCH_hotpath.json)")
+	scaleRun := fs.Bool("scale", false, "run the committee scale-out benchmark (epoch speedup, serve throughput, poisoned-committee robustness) instead of Table II")
+	scaleCommittees := fs.String("scale-committees", "1,2,4", "with -scale, comma-separated committee-count grid")
+	scaleJSON := fs.String("scale-json", "", "with -scale, also write the report to this file (e.g. BENCH_scale.json)")
+	pooling := fs.Bool("pooling", true, "hot-path buffer pools (matrix + transport frame reuse)")
+	bulkCodec := fs.Bool("bulk-codec", true, "bulk-copy wire codec for matrix bodies")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	trustddl.SetPooling(*pooling)
+	trustddl.SetBulkCodec(*bulkCodec)
 
+	if *scaleRun || *scaleJSON != "" {
+		return runScale(*seed, *scaleCommittees, *scaleJSON)
+	}
 	if *hotpathRun || *hotpathJSON != "" {
 		return runHotpath(*iters, *seed, *hotpathBatch, *parallelism, *hotpathJSON)
 	}
@@ -108,6 +126,34 @@ func runHotpath(iters int, seed uint64, batch, parallelism int, jsonPath string)
 	fmt.Print(trustddl.FormatHotpath(cells))
 	if jsonPath != "" {
 		if err := trustddl.WriteHotpathJSON(jsonPath, cfg, cells); err != nil {
+			return err
+		}
+		fmt.Printf("\nreport written to %s\n", jsonPath)
+	}
+	return nil
+}
+
+// runScale drives the committee scale-out benchmark.
+func runScale(seed uint64, committees, jsonPath string) error {
+	cfg := trustddl.ScaleConfig{Seed: seed}
+	for _, tok := range strings.Split(committees, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -scale-committees entry %q", tok)
+		}
+		cfg.Committees = append(cfg.Committees, n)
+	}
+
+	fmt.Println("TrustDDL scale-out benchmark (committee-sharded training + serving)")
+	fmt.Println("(honest rows plus one-committee-poisoned rows, Byzantine-robust delta aggregation)")
+	fmt.Println()
+	rows, err := trustddl.ScaleBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(trustddl.FormatScale(rows))
+	if jsonPath != "" {
+		if err := trustddl.WriteScaleJSON(jsonPath, cfg, rows); err != nil {
 			return err
 		}
 		fmt.Printf("\nreport written to %s\n", jsonPath)

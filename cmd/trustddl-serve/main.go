@@ -10,11 +10,18 @@
 // instead of buffered without bound. Latency quantiles, queue depth
 // and batch sizes are exported via -metrics-addr.
 //
+// With -committees N > 1 the model is provisioned into N independent
+// 3-party committees and the gateway runs one dispatcher per committee
+// engine over the shared admission queue — least-loaded dispatch, N
+// secure passes in flight at once.
+//
 // Usage:
 //
 //	trustddl-serve [-addr 127.0.0.1:8088] [-max-batch 8] [-max-delay 2ms]
 //	               [-queue 256] [-metrics-addr :9090] [-model FILE]
 //	               [-seed 1] [-hbc] [-optimistic] [-prefetch-depth 0]
+//	               [-committees 1] [-parallelism P]
+//	               [-pooling=true] [-bulk-codec=true]
 //
 // API:
 //
@@ -56,9 +63,18 @@ func run(args []string) error {
 	hbc := fs.Bool("hbc", false, "honest-but-curious mode (no commitment phase)")
 	optimistic := fs.Bool("optimistic", false, "reduced-redundancy opening (§V future work)")
 	prefetch := fs.Int("prefetch-depth", 0, "triple pipeline depth (0 = default, -1 = on-demand dealing)")
+	committees := fs.Int("committees", 1, "independent 3-party committees serving in parallel (one gateway dispatcher each)")
+	parallelism := fs.Int("parallelism", 0, "tensor-kernel worker goroutines (0 = NumCPU, 1 = serial)")
+	pooling := fs.Bool("pooling", true, "hot-path buffer pools (matrix + transport frame reuse)")
+	bulkCodec := fs.Bool("bulk-codec", true, "bulk-copy wire codec for matrix bodies")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *parallelism > 0 {
+		trustddl.SetParallelism(*parallelism)
+	}
+	trustddl.SetPooling(*pooling)
+	trustddl.SetBulkCodec(*bulkCodec)
 
 	var (
 		arch    trustddl.Arch
@@ -82,32 +98,54 @@ func run(args []string) error {
 	}
 
 	reg := trustddl.NewObsRegistry("serve")
-	cfg := trustddl.Config{
-		Mode:          trustddl.Malicious,
-		Seed:          *seed,
-		Optimistic:    *optimistic,
-		PrefetchDepth: *prefetch,
-		Obs:           reg,
-	}
+	mode := trustddl.Malicious
 	if *hbc {
-		cfg.Mode = trustddl.HonestButCurious
+		mode = trustddl.HonestButCurious
 	}
-	cluster, err := trustddl.New(cfg)
-	if err != nil {
-		return err
-	}
-	defer cluster.Close()
-	engine, err := cluster.NewRunArch(arch, weights)
-	if err != nil {
-		return err
-	}
-
-	gw := serve.New(engine, serve.Config{
+	scfg := serve.Config{
 		MaxBatch:   *maxBatch,
 		MaxDelay:   *maxDelay,
 		QueueBound: *queue,
 		Obs:        reg,
-	})
+	}
+	var gw *serve.Gateway
+	if *committees > 1 {
+		coord, err := trustddl.NewCoordinator(arch, weights, trustddl.CommitteeConfig{
+			Committees:    *committees,
+			Mode:          mode,
+			Seed:          *seed,
+			Optimistic:    *optimistic,
+			PrefetchDepth: *prefetch,
+			Obs:           reg,
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		runs := coord.Engines()
+		engines := make([]serve.Inferencer, len(runs))
+		for i, r := range runs {
+			engines[i] = r
+		}
+		gw = serve.NewMulti(engines, scfg)
+	} else {
+		cluster, err := trustddl.New(trustddl.Config{
+			Mode:          mode,
+			Seed:          *seed,
+			Optimistic:    *optimistic,
+			PrefetchDepth: *prefetch,
+			Obs:           reg,
+		})
+		if err != nil {
+			return err
+		}
+		defer cluster.Close()
+		engine, err := cluster.NewRunArch(arch, weights)
+		if err != nil {
+			return err
+		}
+		gw = serve.New(engine, scfg)
+	}
 	defer gw.Close()
 
 	if *metricsAddr != "" {
@@ -122,8 +160,8 @@ func run(args []string) error {
 	srv := &http.Server{Addr: *addr, Handler: gw.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("serving private inference on http://%s/infer (%s mode, max-batch %d, max-delay %s, queue %d)\n",
-		*addr, cfg.Mode, *maxBatch, *maxDelay, *queue)
+	fmt.Printf("serving private inference on http://%s/infer (%s mode, %d engine(s), max-batch %d, max-delay %s, queue %d)\n",
+		*addr, mode, gw.Engines(), *maxBatch, *maxDelay, *queue)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

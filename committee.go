@@ -1,0 +1,70 @@
+package trustddl
+
+import (
+	"github.com/trustddl/trustddl/internal/committee"
+)
+
+// Horizontal scale-out: an inter-committee coordinator running N
+// independent 3-party committees, sharding training data-parallel and
+// merging per-epoch weight deltas under a Byzantine-robust aggregation
+// rule, so an entirely compromised committee — not just one party — is
+// outvoted (see DESIGN.md §14).
+
+// AggregationRule selects how the coordinator merges per-committee
+// weight deltas.
+type AggregationRule = committee.Rule
+
+// Aggregation rules.
+const (
+	// AggregateMean averages the deltas — fast but non-robust, kept as
+	// the honest-case baseline.
+	AggregateMean = committee.RuleMean
+	// AggregateMedian takes the coordinate-wise median; a minority of
+	// arbitrarily corrupted deltas cannot move any coordinate past the
+	// honest committees' values. The default.
+	AggregateMedian = committee.RuleMedian
+	// AggregateCenteredClip runs the CenteredClip iteration, bounding
+	// every committee's pull on the merged update.
+	AggregateCenteredClip = committee.RuleCenteredClip
+)
+
+// ParseAggregationRule resolves an -aggregate flag value ("" selects
+// the median).
+func ParseAggregationRule(s string) (AggregationRule, error) { return committee.ParseRule(s) }
+
+// CommitteeConfig parameterizes a coordinator: committee count,
+// aggregation rule, per-committee deployment options (mode, triples,
+// seed, simulated latency) and the screening thresholds.
+type CommitteeConfig = committee.Config
+
+// Coordinator shards training across committees, screens and merges
+// their updates, rolls their suspicion ledgers into a global view and
+// excludes convicted committees (re-routing their shards).
+type Coordinator = committee.Coordinator
+
+// NewCoordinator builds a coordinator and its N committees, and
+// provisions every committee with the initial weights.
+func NewCoordinator(arch Arch, weights []Mat64, cfg CommitteeConfig) (*Coordinator, error) {
+	return committee.New(arch, weights, cfg)
+}
+
+// CommitteeTrainConfig parameterizes Coordinator.Train.
+type CommitteeTrainConfig = committee.TrainConfig
+
+// CommitteeEpochReport summarizes one coordinator epoch: deltas
+// aggregated, committees flagged or failed, shards re-routed and
+// committees excluded.
+type CommitteeEpochReport = committee.EpochReport
+
+// CommitteeEpochResult is one accuracy data point of a coordinator
+// training run.
+type CommitteeEpochResult = committee.EpochResult
+
+// CommitteeVerdict is the global view of one committee: exclusion
+// state plus its internal suspicion report.
+type CommitteeVerdict = committee.Verdict
+
+// CommitteeReport is the coordinator's exportable suspicion snapshot:
+// the committee-tier ledger (party index = committee ID) plus every
+// committee's internal report.
+type CommitteeReport = committee.GlobalReport

@@ -1,0 +1,32 @@
+package trustddl
+
+import (
+	"github.com/trustddl/trustddl/internal/tensor"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// Process-wide hot-path toggles. Both default to on; the binaries
+// expose them as -pooling and -bulk-codec so a deployment can fall
+// back to the allocation-per-operation baseline (bisecting a
+// suspected pooling bug, measuring the optimizations' effect).
+
+// SetPooling toggles the buffer pools on the secure hot path — the
+// matrix pool behind the tensor kernels and the frame pool behind the
+// TCP transport — together, returning the previous setting. Pooling
+// never changes results, only allocation behaviour.
+func SetPooling(on bool) bool {
+	prev := tensor.SetPooling(on)
+	transport.SetFramePooling(on)
+	return prev
+}
+
+// PoolingEnabled reports whether the hot-path buffer pools are active.
+func PoolingEnabled() bool { return tensor.PoolingEnabled() }
+
+// SetBulkCodec toggles the bulk-copy wire codec, returning the
+// previous setting. Enabling it on a big-endian host is a no-op: the
+// portable per-element loops are the only correct option there.
+func SetBulkCodec(on bool) bool { return transport.SetBulkCodec(on) }
+
+// BulkCodecEnabled reports whether matrix bodies move via bulk copies.
+func BulkCodecEnabled() bool { return transport.BulkCodecEnabled() }

@@ -1,0 +1,371 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/byzantine"
+	"github.com/trustddl/trustddl/internal/committee"
+	"github.com/trustddl/trustddl/internal/core"
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/protocol"
+	"github.com/trustddl/trustddl/internal/serve"
+)
+
+// The scale-out experiment: what committee sharding buys, and what a
+// fully compromised committee costs. Each row stands up a coordinator
+// with N committees over a latency-injected transport (the committees
+// of a real deployment are separated by a network, not by goroutine
+// scheduling — on one machine the injected propagation delay is the
+// resource that sharding actually parallelizes), measures one sharded
+// epoch's wall time and the multi-engine gateway's serving throughput,
+// and then re-runs the same configuration without latency for enough
+// epochs to measure final model accuracy. Poisoned rows make every
+// party of the last committee a colluding consistent liar — the
+// committee-internal decision rule is helpless by construction — and
+// report the global ledger's verdict alongside the accuracy the robust
+// aggregation preserved.
+
+// ScaleConfig parameterizes the committee scale-out measurement.
+type ScaleConfig struct {
+	// Committees lists the committee counts to measure (default 1, 2, 4).
+	Committees []int
+	// PoisonFrom is the smallest committee count that also gets a
+	// poisoned row (default 2; a poisoned 1-committee deployment has no
+	// honest majority to fall back on).
+	PoisonFrom int
+	// TrainN is the accuracy run's training-set size, sharded across
+	// committees (default 96).
+	TrainN int
+	// Batch is the accuracy run's per-committee SGD batch size
+	// (default 8).
+	Batch int
+	// LR is the learning rate (default 0.03 — the ×K-scaled robust
+	// aggregate is a stale, extrapolated step, and needs a smaller
+	// rate than sequential SGD for stability).
+	LR float64
+	// Epochs is the accuracy run's epoch count (default 8). The timing
+	// run always measures a single epoch.
+	Epochs int
+	// EvalN is the held-out test-set size (default 256).
+	EvalN int
+	// TimingTrainN and TimingBatch size the timing run's epoch
+	// (defaults 8 and 1: small batches keep the per-step compute far
+	// below the per-step propagation cost, so the measurement is
+	// dominated by the resource sharding actually parallelizes).
+	TimingTrainN int
+	TimingBatch  int
+	// ProbeSize is the coordinator's screening-batch size (default 8).
+	ProbeSize int
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Latency is the injected one-way propagation delay for the timing
+	// and serving measurements (default 60ms — high enough that the
+	// round-trip-bound step stays latency-dominated even on a loaded
+	// single-core host, so the overlap speedup is insensitive to
+	// scheduling noise).
+	Latency time.Duration
+	// Rule selects the Byzantine-robust aggregation (default median).
+	Rule committee.Rule
+	// Clients and RequestsPerClient drive the gateway load measurement
+	// (defaults 8 and 2).
+	Clients           int
+	RequestsPerClient int
+	// ServeBatch is the gateway's dynamic-batch limit (default 4).
+	ServeBatch int
+}
+
+// ScaleRow is one measured (committee count, poisoned?) cell.
+type ScaleRow struct {
+	Committees int  `json:"committees"`
+	Poisoned   bool `json:"poisoned"`
+	// EpochMS is the wall time of one sharded secure training epoch
+	// over the latency-injected transport, including screening, robust
+	// aggregation and re-provisioning (and, on poisoned rows, the
+	// re-route of the convicted committee's shard).
+	EpochMS float64 `json:"epoch_ms"`
+	// SpeedupX is the honest 1-committee EpochMS divided by this row's.
+	SpeedupX float64 `json:"speedup_x"`
+	// ThroughputRPS is the multi-engine gateway's served images per
+	// second under concurrent load, one engine per live committee.
+	ThroughputRPS float64 `json:"serve_rps"`
+	// ServeSpeedupX is this row's throughput over the honest
+	// 1-committee row's.
+	ServeSpeedupX float64 `json:"serve_speedup_x"`
+	// Accuracy is the final plaintext test accuracy of the zero-latency
+	// accuracy run (Epochs epochs of the same configuration).
+	Accuracy float64 `json:"accuracy"`
+	// Convicted and Excluded are the global ledger's verdict after the
+	// accuracy run (expected empty on honest rows, the poisoned
+	// committee's ID on poisoned ones).
+	Convicted []int `json:"convicted,omitempty"`
+	Excluded  []int `json:"excluded,omitempty"`
+	// Rerouted counts shards re-trained on surviving committees during
+	// the accuracy run.
+	Rerouted int `json:"rerouted"`
+}
+
+func (cfg *ScaleConfig) defaults() {
+	if len(cfg.Committees) == 0 {
+		cfg.Committees = []int{1, 2, 4}
+	}
+	if cfg.PoisonFrom <= 0 {
+		cfg.PoisonFrom = 2
+	}
+	if cfg.TrainN <= 0 {
+		cfg.TrainN = 96
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 8
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.03
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 8
+	}
+	if cfg.EvalN <= 0 {
+		cfg.EvalN = 256
+	}
+	if cfg.TimingTrainN <= 0 {
+		cfg.TimingTrainN = 8
+	}
+	if cfg.TimingBatch <= 0 {
+		cfg.TimingBatch = 1
+	}
+	if cfg.ProbeSize <= 0 {
+		cfg.ProbeSize = 8
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = 60 * time.Millisecond
+	}
+	if cfg.Rule == "" {
+		cfg.Rule = committee.RuleMedian
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.RequestsPerClient <= 0 {
+		cfg.RequestsPerClient = 2
+	}
+	if cfg.ServeBatch <= 0 {
+		cfg.ServeBatch = 4
+	}
+}
+
+// poisonCommittee corrupts every party of one committee with colluding
+// consistent liars. The deltas (D, 2D, D) matter: uniform deltas
+// self-cancel on reconstruction (every plain set opens the honest
+// value), while (D, 2D, D) makes two reconstruction sets agree exactly
+// on the corrupted value, which the committee's own decision rule then
+// picks. Only the coordinator's cross-committee screening can catch it.
+func poisonCommittee(id int) map[int]map[int]protocol.Adversary {
+	const d = 1 << 32
+	return map[int]map[int]protocol.Adversary{
+		id: {
+			1: byzantine.ConsistentLiar{Delta: d},
+			2: byzantine.ConsistentLiar{Delta: 2 * d},
+			3: byzantine.ConsistentLiar{Delta: d},
+		},
+	}
+}
+
+// Scale measures epoch wall time, serving throughput and final
+// accuracy for each configured committee count, honest and with the
+// last committee fully poisoned.
+func Scale(cfg ScaleConfig) ([]ScaleRow, error) {
+	cfg.defaults()
+	prev := setHotpath(true) // measure the production configuration
+	defer prev.restore()
+
+	train := mnist.Synthetic(cfg.Seed, cfg.TrainN)
+	test := mnist.Synthetic(cfg.Seed+1, cfg.EvalN)
+	arch := nn.PaperArch()
+	weights, err := arch.InitWeights(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []ScaleRow
+	for _, n := range cfg.Committees {
+		row, err := measureScale(cfg, arch, weights, train, test, n, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %d committees: %w", n, err)
+		}
+		rows = append(rows, row)
+		if n >= cfg.PoisonFrom {
+			row, err := measureScale(cfg, arch, weights, train, test, n, poisonCommittee(n))
+			if err != nil {
+				return nil, fmt.Errorf("bench: %d committees poisoned: %w", n, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	// Speedups are relative to the honest single-committee baseline.
+	var base ScaleRow
+	for _, r := range rows {
+		if r.Committees == 1 && !r.Poisoned {
+			base = r
+		}
+	}
+	for i := range rows {
+		if base.EpochMS > 0 {
+			rows[i].SpeedupX = base.EpochMS / rows[i].EpochMS
+		}
+		if base.ThroughputRPS > 0 {
+			rows[i].ServeSpeedupX = rows[i].ThroughputRPS / base.ThroughputRPS
+		}
+	}
+	return rows, nil
+}
+
+func measureScale(cfg ScaleConfig, arch nn.Arch, weights []nn.Mat64, train, test mnist.Dataset, n int, adv map[int]map[int]protocol.Adversary) (ScaleRow, error) {
+	row := ScaleRow{Committees: n, Poisoned: adv != nil}
+
+	// Timing and serving: one epoch over the latency-injected
+	// transport, then concurrent load at the multi-engine gateway.
+	// Online dealing keeps the triple rounds inside the measured steps
+	// — the round-trips are exactly what the committees overlap.
+	coord, err := committee.New(arch, weights, committee.Config{
+		Committees:  n,
+		Rule:        cfg.Rule,
+		Mode:        core.Malicious,
+		Triples:     core.OnlineDealing,
+		Seed:        cfg.Seed,
+		Latency:     cfg.Latency,
+		ProbeSize:   cfg.ProbeSize,
+		Adversaries: adv,
+	})
+	if err != nil {
+		return row, err
+	}
+	timing := mnist.Synthetic(cfg.Seed, cfg.TimingTrainN)
+	start := time.Now()
+	if _, err := coord.TrainEpoch(timing, cfg.TimingBatch, cfg.LR); err != nil {
+		coord.Close()
+		return row, err
+	}
+	row.EpochMS = time.Since(start).Seconds() * 1000
+	rps, err := measureScaleServe(cfg, coord)
+	closeErr := coord.Close()
+	if err != nil {
+		return row, err
+	}
+	if closeErr != nil {
+		return row, closeErr
+	}
+	row.ThroughputRPS = rps
+
+	// Accuracy and verdict: the same configuration without latency, for
+	// enough epochs that the robust aggregate's quality shows.
+	coord, err = committee.New(arch, weights, committee.Config{
+		Committees:  n,
+		Rule:        cfg.Rule,
+		Mode:        core.Malicious,
+		Triples:     core.OfflinePrecomputed,
+		Seed:        cfg.Seed,
+		ProbeSize:   cfg.ProbeSize,
+		Adversaries: adv,
+	})
+	if err != nil {
+		return row, err
+	}
+	defer coord.Close()
+	results, err := coord.Train(train, test, committee.TrainConfig{
+		Epochs: cfg.Epochs,
+		Batch:  cfg.Batch,
+		LR:     cfg.LR,
+	})
+	if err != nil {
+		return row, err
+	}
+	row.Accuracy = results[len(results)-1].Accuracy
+	for _, r := range results {
+		row.Rerouted += r.Report.Rerouted
+	}
+	row.Convicted = coord.Suspicions().Global.Convicted
+	row.Excluded = coord.ExcludedCommittees()
+	return row, nil
+}
+
+// measureScaleServe drives concurrent load through a gateway with one
+// dispatcher per live committee engine.
+func measureScaleServe(cfg ScaleConfig, coord *committee.Coordinator) (float64, error) {
+	runs := coord.Engines()
+	engines := make([]serve.Inferencer, len(runs))
+	for i, r := range runs {
+		engines[i] = r
+	}
+	g := serve.NewMulti(engines, serve.Config{
+		MaxBatch:   cfg.ServeBatch,
+		MaxDelay:   2 * time.Millisecond,
+		QueueBound: 4 * cfg.Clients,
+	})
+	srv := httptest.NewServer(g.Handler())
+	images := mnist.Synthetic(cfg.Seed+2, cfg.ServeBatch).Images
+	rep, err := serve.RunLoad(serve.LoadConfig{
+		URL:               srv.URL,
+		Images:            images,
+		Clients:           cfg.Clients,
+		RequestsPerClient: cfg.RequestsPerClient,
+	})
+	srv.Close()
+	g.Close()
+	if err != nil {
+		return 0, err
+	}
+	if !rep.Accounted() {
+		return 0, fmt.Errorf("scale load run lost requests: %+v", rep)
+	}
+	return rep.Throughput(), nil
+}
+
+// scaleReport is the BENCH_scale.json schema.
+type scaleReport struct {
+	Benchmark string     `json:"benchmark"`
+	TrainN    int        `json:"train_n"`
+	Batch     int        `json:"batch"`
+	Epochs    int        `json:"accuracy_epochs"`
+	LatencyMS float64    `json:"latency_ms"`
+	Rule      string     `json:"rule"`
+	Rows      []ScaleRow `json:"rows"`
+}
+
+// WriteScaleJSON persists the measurement for trend tracking across
+// PRs (the BENCH_scale.json artifact).
+func WriteScaleJSON(path string, cfg ScaleConfig, rows []ScaleRow) error {
+	cfg.defaults()
+	report := scaleReport{
+		Benchmark: "committee scale-out: sharded epoch time, gateway throughput and robust-aggregation accuracy vs committee count",
+		TrainN:    cfg.TrainN,
+		Batch:     cfg.Batch,
+		Epochs:    cfg.Epochs,
+		LatencyMS: float64(cfg.Latency) / float64(time.Millisecond),
+		Rule:      string(cfg.Rule),
+		Rows:      rows,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// FormatScale renders the measurement as a table.
+func FormatScale(rows []ScaleRow) string {
+	out := fmt.Sprintf("%-12s %-9s %12s %9s %10s %9s %9s %-10s %9s\n",
+		"Committees", "Poisoned", "Epoch (ms)", "Speedup", "Images/s", "Serve x", "Accuracy", "Convicted", "Rerouted")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-12d %-9v %12.0f %8.2fx %10.1f %8.2fx %9.3f %-10s %9d\n",
+			r.Committees, r.Poisoned, r.EpochMS, r.SpeedupX, r.ThroughputRPS, r.ServeSpeedupX, r.Accuracy, fmt.Sprint(r.Convicted), r.Rerouted)
+	}
+	return out
+}

@@ -85,9 +85,14 @@ func (cfg *ServeConfig) defaults() {
 }
 
 // Serve measures the Table I network behind the inference gateway,
-// once per configured MaxBatch.
+// once per configured MaxBatch. The hot-path optimizations (buffer
+// pools, bulk wire codec) are pinned on for the measurement — that is
+// the production configuration the binaries now default to — and
+// restored afterwards.
 func Serve(cfg ServeConfig) ([]ServeRow, error) {
 	cfg.defaults()
+	prev := setHotpath(true)
+	defer prev.restore()
 	weights, err := nn.InitPaperWeights(cfg.Seed)
 	if err != nil {
 		return nil, err

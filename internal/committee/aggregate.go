@@ -1,0 +1,251 @@
+package committee
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+// Rule selects how the coordinator merges per-committee weight deltas.
+// Mean is the classical (non-robust) data-parallel average; the two
+// robust rules tolerate a minority of entirely Byzantine committees in
+// the spirit of *Secure Distributed Training at Scale* (CenteredClip)
+// and classical coordinate-wise median aggregation.
+type Rule string
+
+// Aggregation rules.
+const (
+	// RuleMean averages the deltas. Fast, but a single corrupted
+	// committee shifts the merged update arbitrarily — kept as the
+	// honest-case baseline and for ablation runs.
+	RuleMean Rule = "mean"
+	// RuleMedian takes the coordinate-wise median across committees; a
+	// minority of arbitrarily corrupted deltas cannot move any
+	// coordinate past the honest committees' values.
+	RuleMedian Rule = "median"
+	// RuleCenteredClip runs the CenteredClip iteration: starting from
+	// the coordinate-median, repeatedly move toward the mean of the
+	// deltas with each committee's offset clipped to a radius, bounding
+	// every committee's pull on the aggregate.
+	RuleCenteredClip Rule = "centered-clip"
+)
+
+// ParseRule resolves a -aggregate flag value ("" selects the median).
+func ParseRule(s string) (Rule, error) {
+	switch Rule(strings.ToLower(strings.TrimSpace(s))) {
+	case "", RuleMedian:
+		return RuleMedian, nil
+	case RuleMean:
+		return RuleMean, nil
+	case RuleCenteredClip, Rule("clip"), Rule("centeredclip"):
+		return RuleCenteredClip, nil
+	}
+	return "", fmt.Errorf("committee: unknown aggregation rule %q (want mean, median or centered-clip)", s)
+}
+
+// delta is one committee's epoch update: one float64 matrix per
+// parameterized layer, in architecture order.
+type delta []nn.Mat64
+
+// subWeights returns after − before, layer-wise.
+func subWeights(after, before []nn.Mat64) (delta, error) {
+	if len(after) != len(before) {
+		return nil, fmt.Errorf("committee: delta over %d vs %d matrices", len(after), len(before))
+	}
+	d := make(delta, len(after))
+	for i := range after {
+		a, b := after[i], before[i]
+		if a.Rows != b.Rows || a.Cols != b.Cols {
+			return nil, fmt.Errorf("committee: delta matrix %d is %dx%d vs %dx%d", i, a.Rows, a.Cols, b.Rows, b.Cols)
+		}
+		m := tensor.MustNew[float64](a.Rows, a.Cols)
+		for j := range m.Data {
+			m.Data[j] = a.Data[j] - b.Data[j]
+		}
+		d[i] = m
+	}
+	return d, nil
+}
+
+// addWeights returns w + d as freshly allocated matrices.
+func addWeights(w []nn.Mat64, d delta) []nn.Mat64 {
+	out := make([]nn.Mat64, len(w))
+	for i := range w {
+		m := tensor.MustNew[float64](w[i].Rows, w[i].Cols)
+		for j := range m.Data {
+			m.Data[j] = w[i].Data[j] + d[i].Data[j]
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// cloneWeights deep-copies a weight set.
+func cloneWeights(w []nn.Mat64) []nn.Mat64 {
+	out := make([]nn.Mat64, len(w))
+	for i := range w {
+		out[i] = w[i].Clone()
+	}
+	return out
+}
+
+// scaleDelta multiplies every coordinate in place.
+func scaleDelta(d delta, s float64) {
+	for i := range d {
+		for j := range d[i].Data {
+			d[i].Data[j] *= s
+		}
+	}
+}
+
+// zeroLike returns an all-zero delta with d's shapes.
+func zeroLike(d delta) delta {
+	out := make(delta, len(d))
+	for i := range d {
+		out[i] = tensor.MustNew[float64](d[i].Rows, d[i].Cols)
+	}
+	return out
+}
+
+// distance is the global L2 distance between two deltas (over every
+// coordinate of every layer).
+func distance(a, b delta) float64 {
+	var sum float64
+	for i := range a {
+		for j := range a[i].Data {
+			diff := a[i].Data[j] - b[i].Data[j]
+			sum += diff * diff
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// finite reports whether every coordinate of the delta is a finite
+// float (a committee whose secure state overflowed reveals NaN/Inf
+// after fixed-point decode of saturated ring values).
+func (d delta) finite() bool {
+	for i := range d {
+		for _, v := range d[i].Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// aggregateDeltas merges the surviving committees' deltas under the
+// configured rule. The input order is the committee order, so the
+// result is deterministic for deterministic training runs.
+func aggregateDeltas(rule Rule, ds []delta, clipRadius float64, clipIters int) (delta, error) {
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("committee: no deltas to aggregate")
+	}
+	for _, d := range ds[1:] {
+		if len(d) != len(ds[0]) {
+			return nil, fmt.Errorf("committee: ragged delta set (%d vs %d matrices)", len(d), len(ds[0]))
+		}
+	}
+	switch rule {
+	case RuleMean:
+		return meanDeltas(ds), nil
+	case RuleMedian, "":
+		return medianDeltas(ds), nil
+	case RuleCenteredClip:
+		return centeredClip(ds, clipRadius, clipIters), nil
+	}
+	return nil, fmt.Errorf("committee: unknown aggregation rule %q", rule)
+}
+
+// meanDeltas is the plain average.
+func meanDeltas(ds []delta) delta {
+	out := zeroLike(ds[0])
+	inv := 1 / float64(len(ds))
+	for _, d := range ds {
+		for i := range d {
+			for j, v := range d[i].Data {
+				out[i].Data[j] += v * inv
+			}
+		}
+	}
+	return out
+}
+
+// medianDeltas takes the coordinate-wise median (midpoint of the two
+// central values for an even committee count).
+func medianDeltas(ds []delta) delta {
+	out := zeroLike(ds[0])
+	vals := make([]float64, len(ds))
+	for i := range out {
+		for j := range out[i].Data {
+			for k, d := range ds {
+				vals[k] = d[i].Data[j]
+			}
+			out[i].Data[j] = median(vals)
+		}
+	}
+	return out
+}
+
+// median computes the median in place (vals is scratch).
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// centeredClip runs the CenteredClip iteration seeded at the
+// coordinate-median: v ← v + (1/n)·Σᵢ clip(Δᵢ − v, τ), where clip
+// rescales a committee's offset to L2 radius τ. A radius of 0
+// self-tunes to the median distance of the deltas from the seed, so
+// honest updates pass (nearly) unclipped while an arbitrarily corrupted
+// delta contributes at most τ of pull per iteration.
+func centeredClip(ds []delta, radius float64, iters int) delta {
+	v := medianDeltas(ds)
+	if len(ds) == 1 {
+		return v
+	}
+	if iters <= 0 {
+		iters = 3
+	}
+	if radius <= 0 {
+		dists := make([]float64, len(ds))
+		for i, d := range ds {
+			dists[i] = distance(d, v)
+		}
+		radius = median(dists)
+		if radius <= 0 {
+			// All deltas agree with the median exactly; nothing to refine.
+			return v
+		}
+	}
+	inv := 1 / float64(len(ds))
+	for it := 0; it < iters; it++ {
+		step := zeroLike(v)
+		for _, d := range ds {
+			dist := distance(d, v)
+			scale := 1.0
+			if dist > radius {
+				scale = radius / dist
+			}
+			for i := range d {
+				for j, val := range d[i].Data {
+					step[i].Data[j] += (val - v[i].Data[j]) * scale * inv
+				}
+			}
+		}
+		for i := range v {
+			for j := range v[i].Data {
+				v[i].Data[j] += step[i].Data[j]
+			}
+		}
+	}
+	return v
+}

@@ -1,0 +1,149 @@
+package committee
+
+import (
+	"math"
+	"testing"
+
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+func deltaOf(vals ...float64) delta {
+	m := tensor.MustNew[float64](1, len(vals))
+	copy(m.Data, vals)
+	return delta{m}
+}
+
+func TestParseRule(t *testing.T) {
+	for in, want := range map[string]Rule{
+		"":              RuleMedian,
+		"median":        RuleMedian,
+		"mean":          RuleMean,
+		"centered-clip": RuleCenteredClip,
+		"clip":          RuleCenteredClip,
+		"  Median ":     RuleMedian,
+	} {
+		got, err := ParseRule(in)
+		if err != nil || got != want {
+			t.Errorf("ParseRule(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseRule("krum"); err == nil {
+		t.Error("ParseRule accepted an unknown rule")
+	}
+}
+
+// TestMedianOutvotesPoisonedDelta is the robustness claim at its
+// smallest: with an honest majority of committees, an arbitrarily
+// corrupted delta cannot move any coordinate past the honest values.
+func TestMedianOutvotesPoisonedDelta(t *testing.T) {
+	ds := []delta{
+		deltaOf(0.10, -0.20),
+		deltaOf(0.12, -0.18),
+		deltaOf(1e9, -1e9), // fully Byzantine committee
+	}
+	agg, err := aggregateDeltas(RuleMedian, ds, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := agg[0].Data[0]; got < 0.10 || got > 0.12 {
+		t.Errorf("median coordinate 0 = %v, escaped the honest range [0.10, 0.12]", got)
+	}
+	if got := agg[0].Data[1]; got < -0.20 || got > -0.18 {
+		t.Errorf("median coordinate 1 = %v, escaped the honest range [-0.20, -0.18]", got)
+	}
+	// The mean, by contrast, is dragged arbitrarily — the reason it is
+	// only the honest-case baseline.
+	mean, err := aggregateDeltas(RuleMean, ds, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean[0].Data[0]) < 1e6 {
+		t.Errorf("mean coordinate 0 = %v; expected it to be dragged by the poisoned delta", mean[0].Data[0])
+	}
+}
+
+// TestCenteredClipBoundsPoisonedPull checks the clipped iteration stays
+// near the honest cluster of deltas despite one runaway update.
+func TestCenteredClipBoundsPoisonedPull(t *testing.T) {
+	ds := []delta{
+		deltaOf(1.0, 0.0),
+		deltaOf(1.1, 0.1),
+		deltaOf(0.9, -0.1),
+		deltaOf(1e9, 1e9),
+	}
+	agg, err := aggregateDeltas(RuleCenteredClip, ds, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := distance(agg, deltaOf(1.0, 0.0)); d > 1.0 {
+		t.Errorf("CenteredClip landed %v away from the honest cluster", d)
+	}
+}
+
+func TestCenteredClipSingleDelta(t *testing.T) {
+	agg, err := aggregateDeltas(RuleCenteredClip, []delta{deltaOf(0.5)}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg[0].Data[0] != 0.5 {
+		t.Errorf("single-delta CenteredClip = %v, want passthrough", agg[0].Data[0])
+	}
+}
+
+func TestSubAddWeightsRoundTrip(t *testing.T) {
+	w0 := tensor.MustNew[float64](2, 3)
+	for i := range w0.Data {
+		w0.Data[i] = float64(i)
+	}
+	w1 := tensor.MustNew[float64](2, 3)
+	for i := range w1.Data {
+		w1.Data[i] = float64(i) * 1.5
+	}
+	d, err := subWeights([]nn.Mat64{w1}, []nn.Mat64{w0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := addWeights([]nn.Mat64{w0}, d)
+	for i := range back[0].Data {
+		if math.Abs(back[0].Data[i]-w1.Data[i]) > 1e-12 {
+			t.Fatalf("round trip diverged at %d: %v vs %v", i, back[0].Data[i], w1.Data[i])
+		}
+	}
+}
+
+func TestFiniteDetectsNaNAndInf(t *testing.T) {
+	if !deltaOf(1, 2, 3).finite() {
+		t.Error("finite delta reported non-finite")
+	}
+	if deltaOf(1, math.NaN()).finite() {
+		t.Error("NaN delta reported finite")
+	}
+	if deltaOf(math.Inf(1)).finite() {
+		t.Error("Inf delta reported finite")
+	}
+}
+
+func TestShardBalancedAndContiguous(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{10, 3}, {8, 2}, {7, 4}, {3, 3}, {5, 1}} {
+		spans := shard(tc.n, tc.k)
+		if len(spans) != tc.k {
+			t.Fatalf("shard(%d,%d) produced %d spans", tc.n, tc.k, len(spans))
+		}
+		at, total := 0, 0
+		for _, s := range spans {
+			if s[0] != at {
+				t.Fatalf("shard(%d,%d): span %v not contiguous at %d", tc.n, tc.k, s, at)
+			}
+			size := s[1] - s[0]
+			if size < tc.n/tc.k || size > tc.n/tc.k+1 {
+				t.Fatalf("shard(%d,%d): unbalanced span %v", tc.n, tc.k, s)
+			}
+			at = s[1]
+			total += size
+		}
+		if total != tc.n {
+			t.Fatalf("shard(%d,%d) covers %d samples", tc.n, tc.k, total)
+		}
+	}
+}

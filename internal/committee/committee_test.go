@@ -1,0 +1,263 @@
+package committee
+
+import (
+	"math"
+	"testing"
+
+	"github.com/trustddl/trustddl/internal/byzantine"
+	"github.com/trustddl/trustddl/internal/core"
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/protocol"
+	"github.com/trustddl/trustddl/internal/suspicion"
+)
+
+// fullyPoisoned makes every party of the given committee a consistent
+// liar, with colluding deltas (D, 2D, D). The collusion matters:
+// uniform deltas self-cancel (plain set j opens Primary_j(+d) +
+// Second_next(j)(−d) = x, so the decision rule still reveals the honest
+// value), while deltas (D, 2D, D) make plain set 1 and hat set 2 agree
+// exactly on the corrupted value x−D — a zero-distance pair the
+// decision rule picks. The committee's own machinery is then helpless
+// by construction, and only the coordinator's screening can catch it.
+func fullyPoisoned(committee int) map[int]map[int]protocol.Adversary {
+	const d = 1 << 32
+	return map[int]map[int]protocol.Adversary{
+		committee: {
+			1: byzantine.ConsistentLiar{Delta: d},
+			2: byzantine.ConsistentLiar{Delta: 2 * d},
+			3: byzantine.ConsistentLiar{Delta: d},
+		},
+	}
+}
+
+func newTestCoordinator(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	arch := nn.PaperArch()
+	weights, err := arch.InitWeights(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(arch, weights, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := c.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return c
+}
+
+// TestHonestShardedEpoch runs two honest committees over one sharded
+// epoch and checks the bookkeeping: both deltas aggregated, nobody
+// flagged, both engines live.
+func TestHonestShardedEpoch(t *testing.T) {
+	c := newTestCoordinator(t, Config{
+		Committees: 2,
+		Mode:       core.HonestButCurious,
+		Triples:    core.OfflinePrecomputed,
+		Seed:       11,
+	})
+	train := mnist.Synthetic(21, 16)
+	rep, err := c.TrainEpoch(train, 8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aggregated != 2 {
+		t.Errorf("aggregated %d deltas, want 2", rep.Aggregated)
+	}
+	if len(rep.Flagged) != 0 || len(rep.Failed) != 0 || rep.Rerouted != 0 {
+		t.Errorf("honest epoch flagged=%v failed=%v rerouted=%d", rep.Flagged, rep.Failed, rep.Rerouted)
+	}
+	if got := len(c.Engines()); got != 2 {
+		t.Errorf("%d live engines, want 2", got)
+	}
+	if convicted := c.Suspicions().Global.Convicted; len(convicted) != 0 {
+		t.Errorf("honest run convicted committees %v", convicted)
+	}
+}
+
+// TestDeterministicAcrossRuns pins the scale-out's reproducibility:
+// the same seed drives independent per-committee triple streams, so two
+// coordinator runs produce bit-identical global weights.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	trainOnce := func() []nn.Mat64 {
+		c := newTestCoordinator(t, Config{
+			Committees: 2,
+			Mode:       core.HonestButCurious,
+			Triples:    core.OfflinePrecomputed,
+			Seed:       31,
+		})
+		train := mnist.Synthetic(33, 16)
+		if _, err := c.TrainEpoch(train, 8, 0.1); err != nil {
+			t.Fatal(err)
+		}
+		return c.Weights()
+	}
+	a, b := trainOnce(), trainOnce()
+	for i := range a {
+		d, err := a[i].MaxAbsDiff(b[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 0 {
+			t.Fatalf("weights %d differ by %v across identically seeded runs", i, d)
+		}
+	}
+}
+
+// TestPoisonedCommitteeConvictedAndAccuracyHeld is the suspicion-rollup
+// acceptance test: one committee runs ConsistentLiar on all three
+// parties — its internal decision rule cannot help, because every
+// reconstruction set lies consistently. The coordinator's probe tier
+// must convict it in the global ledger (proven, single observation),
+// exclude it from aggregation, re-route its shard, and end within
+// tolerance of an identically seeded honest run's accuracy.
+func TestPoisonedCommitteeConvictedAndAccuracyHeld(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-committee secure training in -short mode")
+	}
+	train := mnist.Synthetic(41, 48)
+	test := mnist.Synthetic(43, 200)
+	tc := TrainConfig{Epochs: 2, Batch: 8, LR: 0.1}
+
+	runWith := func(adv map[int]map[int]protocol.Adversary) (*Coordinator, []EpochResult) {
+		c := newTestCoordinator(t, Config{
+			Committees:  2,
+			Mode:        core.Malicious,
+			Triples:     core.OfflinePrecomputed,
+			Seed:        47,
+			Adversaries: adv,
+		})
+		results, err := c.Train(train, test, tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, results
+	}
+
+	honest, honestRes := runWith(nil)
+	poisoned, poisonedRes := runWith(fullyPoisoned(2))
+
+	if convicted := honest.Suspicions().Global.Convicted; len(convicted) != 0 {
+		t.Errorf("honest run convicted %v", convicted)
+	}
+
+	rep := poisoned.Suspicions()
+	if got := rep.Global.Convicted; len(got) != 1 || got[0] != 2 {
+		t.Fatalf("global conviction = %v, want [2]\nevidence: %+v", got, rep.Global.Evidence)
+	}
+	proven := false
+	for _, ev := range rep.Global.Evidence {
+		if ev.Party == 2 && ev.Kind.Proven() {
+			proven = true
+		}
+	}
+	if !proven {
+		t.Errorf("committee 2 convicted without proven evidence: %+v", rep.Global.Evidence)
+	}
+	if got := poisoned.ExcludedCommittees(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("excluded = %v, want [2]", got)
+	}
+	if got := len(poisoned.Engines()); got != 1 {
+		t.Errorf("%d live engines after exclusion, want 1", got)
+	}
+
+	// The poisoned committee's shard was re-routed in the epoch that
+	// flagged it, so the training data was never lost.
+	rerouted := 0
+	for _, r := range poisonedRes {
+		rerouted += r.Report.Rerouted
+	}
+	if rerouted == 0 {
+		t.Error("no shards were re-routed off the poisoned committee")
+	}
+
+	// One-sided tolerance: the poisoning must not cost accuracy. (It can
+	// gain a little — after the re-route the surviving committee trains
+	// the whole set sequentially instead of median-merging two
+	// half-shard deltas.)
+	accHonest := honestRes[len(honestRes)-1].Accuracy
+	accPoisoned := poisonedRes[len(poisonedRes)-1].Accuracy
+	if accPoisoned < accHonest-0.05 {
+		t.Errorf("final accuracy honest %.3f vs poisoned %.3f: poisoning cost more than 0.05",
+			accHonest, accPoisoned)
+	}
+}
+
+// TestRollupConvictsInternallyCompromisedCommittee exercises the ledger
+// rollup in isolation: a committee whose internal ledger convicts a
+// majority of its parties is itself convicted (proven) in the global
+// view.
+func TestRollupConvictsInternallyCompromisedCommittee(t *testing.T) {
+	c := newTestCoordinator(t, Config{
+		Committees: 2,
+		Mode:       core.HonestButCurious,
+		Triples:    core.OfflinePrecomputed,
+		Seed:       53,
+	})
+	// Inject an internal majority conviction directly: two parties with
+	// proven evidence.
+	m := c.members[1]
+	m.cluster.SuspicionLedger().Record(1, suspicion.KindCommitViolation, "s", "t")
+	m.cluster.SuspicionLedger().Record(2, suspicion.KindCommitViolation, "s", "t")
+	c.rollupInternal(m, 1)
+	c.updateExclusions()
+	if got := c.Suspicions().Global.Convicted; len(got) != 1 || got[0] != 2 {
+		t.Fatalf("global conviction = %v, want [2]", got)
+	}
+	if got := c.ExcludedCommittees(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("excluded = %v, want [2]", got)
+	}
+	// Idempotent: a second rollup must not double-record.
+	before := len(c.Suspicions().Global.Evidence)
+	c.rollupInternal(m, 2)
+	if got := len(c.Suspicions().Global.Evidence); got != before {
+		t.Errorf("rollup re-recorded evidence: %d → %d records", before, got)
+	}
+}
+
+// TestScreenProbeTiers pins the tier boundaries with synthetic deltas.
+func TestScreenProbeTiers(t *testing.T) {
+	c := newTestCoordinator(t, Config{
+		Committees: 1,
+		Mode:       core.HonestButCurious,
+		Triples:    core.OfflinePrecomputed,
+		Seed:       61,
+	})
+	base, err := c.probe.loss(c.arch, c.weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := zeroLike(mustDelta(t, c))
+	if v := c.screenProbe(1, base, zero); v.flagged() {
+		t.Errorf("zero delta flagged: %+v", v)
+	}
+	// A delta that zeroes every weight pins the loss near ln(10) — fine
+	// — but one that explodes the weights must hit the proven tier.
+	huge := zeroLike(zero)
+	for i := range huge {
+		for j := range huge[i].Data {
+			huge[i].Data[j] = 1e12
+		}
+	}
+	if v := c.screenProbe(1, base, huge); v.kind != suspicion.KindProbeFailure {
+		t.Errorf("exploded delta screened as %q, want probe-failure", v.kind)
+	}
+	nan := zeroLike(zero)
+	nan[0].Data[0] = math.NaN()
+	if v := c.screenProbe(1, base, nan); v.kind != suspicion.KindProbeFailure {
+		t.Errorf("NaN delta screened as %q, want probe-failure", v.kind)
+	}
+}
+
+func mustDelta(t *testing.T, c *Coordinator) delta {
+	t.Helper()
+	d, err := subWeights(c.weights, c.weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,162 @@
+package committee
+
+import (
+	"fmt"
+
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/suspicion"
+	"github.com/trustddl/trustddl/internal/tensor"
+)
+
+// The screening tiers. A robust aggregation rule alone needs an honest
+// majority of committees (n ≥ 2f+1); at small N — the common deployment
+// — a fully compromised committee is instead caught by the coordinator
+// scoring every candidate delta against a held-out probe batch. The
+// coordinator is the model owner: it reveals the plaintext weights each
+// epoch anyway (that is the paper's training output), so probing them
+// against its own data leaks nothing new.
+//
+//   - Proven tier (KindProbeFailure): the candidate weights produce a
+//     non-finite probe loss or one catastrophically worse than the
+//     epoch's starting point. Honest SGD on any data shard cannot do
+//     this; one observation convicts.
+//   - Attributable tier (KindAggregateDeviation): the candidate mildly
+//     regresses the probe loss, or the delta is a gross statistical
+//     outlier against the robust aggregate of its peers. An unlucky
+//     shard can produce one such observation; repeats convict at the
+//     ledger threshold.
+//
+// Flagged committees are dropped from the epoch's aggregation and their
+// shard is re-routed to the survivors, so the merged update loses no
+// training data.
+
+// probe is the coordinator's held-out screening batch.
+type probe struct {
+	x      nn.Mat64
+	labels []int
+}
+
+// newProbe draws a deterministic held-out batch. The seed is derived
+// from the run seed so the probe never collides with any committee's
+// training shard, and stays fixed when the run seed is zero (live
+// randomness) so screening remains reproducible.
+func newProbe(seed uint64, size int) (*probe, error) {
+	ds := mnist.Synthetic(seed^probeSeedTag, size)
+	x := tensor.MustNew[float64](len(ds.Images), mnist.NumPixels)
+	labels := make([]int, len(ds.Images))
+	for i, img := range ds.Images {
+		copy(x.Data[i*mnist.NumPixels:(i+1)*mnist.NumPixels], img.Pixels[:])
+		labels[i] = img.Label
+	}
+	return &probe{x: x, labels: labels}, nil
+}
+
+// probeSeedTag separates the probe stream from the committees' derived
+// dealer seeds and the workload generator.
+const probeSeedTag = 0xc2b2ae3d27d4eb4f
+
+// loss scores a candidate weight set: mean cross-entropy of the probe
+// batch under the plaintext engine.
+func (p *probe) loss(arch nn.Arch, weights []nn.Mat64) (float64, error) {
+	net, err := arch.BuildPlain(weights)
+	if err != nil {
+		return 0, fmt.Errorf("committee: probe build: %w", err)
+	}
+	logits, err := net.Logits(p.x)
+	if err != nil {
+		return 0, fmt.Errorf("committee: probe forward: %w", err)
+	}
+	return nn.CrossEntropy(nn.SoftmaxRows(logits), p.labels), nil
+}
+
+// screenVerdict is one committee's screening outcome for an epoch.
+type screenVerdict struct {
+	committee int
+	kind      suspicion.Kind // "" when the delta passed
+	detail    string
+}
+
+func (v screenVerdict) flagged() bool { return v.kind != "" }
+
+// screenProbe scores one committee's delta against the probe batch.
+// base is the probe loss of the epoch's starting weights.
+func (c *Coordinator) screenProbe(id int, base float64, d delta) screenVerdict {
+	v := screenVerdict{committee: id}
+	if !d.finite() {
+		v.kind = suspicion.KindProbeFailure
+		v.detail = "non-finite delta"
+		return v
+	}
+	loss, err := c.probe.loss(c.arch, addWeights(c.weights, d))
+	if err != nil {
+		v.kind = suspicion.KindProbeFailure
+		v.detail = err.Error()
+		return v
+	}
+	hard := base*c.cfg.ProbeHardFactor + c.cfg.ProbeHardSlack
+	switch {
+	case loss != loss || loss > hard: // NaN or catastrophic regression
+		v.kind = suspicion.KindProbeFailure
+		v.detail = fmt.Sprintf("probe loss %.3f vs base %.3f (hard bound %.3f)", loss, base, hard)
+	case loss > base+c.cfg.ProbeMargin:
+		v.kind = suspicion.KindAggregateDeviation
+		v.detail = fmt.Sprintf("probe loss %.3f vs base %.3f (margin %.3f)", loss, base, c.cfg.ProbeMargin)
+	}
+	return v
+}
+
+// screenDistance flags deltas that are gross outliers against the
+// aggregate: farther than DeviationFactor times the median distance.
+// Needs at least three deltas — with two there is no majority to define
+// an outlier, and the probe tier carries the detection alone.
+func (c *Coordinator) screenDistance(ids []int, ds []delta, agg delta) []screenVerdict {
+	var out []screenVerdict
+	if len(ds) < 3 {
+		return out
+	}
+	dists := make([]float64, len(ds))
+	for i, d := range ds {
+		dists[i] = distance(d, agg)
+	}
+	med := median(append([]float64(nil), dists...))
+	if med <= 0 {
+		return out
+	}
+	bound := med * c.cfg.DeviationFactor
+	for i, dist := range dists {
+		if dist > bound {
+			out = append(out, screenVerdict{
+				committee: ids[i],
+				kind:      suspicion.KindAggregateDeviation,
+				detail:    fmt.Sprintf("delta distance %.3f vs median %.3f (factor %.1f)", dist, med, c.cfg.DeviationFactor),
+			})
+		}
+	}
+	return out
+}
+
+// rollupInternal folds one committee's internal suspicion ledger into
+// the global view. A minority conviction inside a committee means the
+// committee's own decision rule is containing the fault — that is the
+// system working, and it stays an internal matter. A convicted majority
+// breaks the 3PC honest-majority assumption: nothing the committee
+// reports can be trusted, so the committee itself is convicted
+// (KindCommitteeCompromise, proven) in the global ledger.
+func (c *Coordinator) rollupInternal(m *member, epoch int) {
+	if m.rolledUp {
+		return
+	}
+	convicted := m.cluster.Suspicions().Convicted
+	if len(convicted) < internalMajority {
+		return
+	}
+	m.rolledUp = true
+	c.ledger.Record(m.id, suspicion.KindCommitteeCompromise,
+		fmt.Sprintf("epoch/%d", epoch),
+		fmt.Sprintf("internal conviction of parties %v", convicted))
+}
+
+// internalMajority is the internal-conviction count that voids a
+// committee's honest-majority assumption (2 of 3 parties).
+const internalMajority = 2

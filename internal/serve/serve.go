@@ -7,9 +7,15 @@
 // Admission control is a bounded queue with load shedding: when the
 // queue is full, requests are rejected immediately (HTTP 429) rather
 // than buffered without bound, so overload degrades into backpressure
-// instead of memory growth. One dispatcher goroutine drains the queue —
-// a secure pass holds the whole three-party cluster, so passes are
-// serialized and batching is the only source of intra-pass parallelism.
+// instead of memory growth.
+//
+// The gateway drives one or more engines (NewMulti): each engine gets
+// its own dispatcher goroutine pulling batches from the shared queue.
+// A secure pass holds its engine's whole three-party committee, so
+// passes are serialized per engine — with one engine, batching is the
+// only source of intra-pass parallelism; with N committee engines the
+// shared queue is itself the least-loaded dispatch policy, because an
+// engine competes for the next batch exactly when it is idle.
 package serve
 
 import (
@@ -72,11 +78,11 @@ type pending struct {
 
 // Gateway batches concurrent Classify calls into secure passes.
 type Gateway struct {
-	inf   Inferencer
-	cfg   Config
-	queue chan *pending
-	stop  chan struct{}
-	wg    sync.WaitGroup
+	engines []Inferencer
+	cfg     Config
+	queue   chan *pending
+	stop    chan struct{}
+	wg      sync.WaitGroup
 
 	mu     sync.RWMutex
 	closed bool
@@ -91,10 +97,25 @@ type Gateway struct {
 	depth     *obs.Gauge   // queue occupancy after the last enqueue/drain
 	latency   *obs.Histogram
 	passTime  *obs.Histogram
+
+	perEngine []*obs.Counter // serve.engine.<i>.batches: dispatch balance
 }
 
-// New starts a gateway over inf. Close releases its dispatcher.
+// New starts a gateway over a single engine. Close releases its
+// dispatcher.
 func New(inf Inferencer, cfg Config) *Gateway {
+	return NewMulti([]Inferencer{inf}, cfg)
+}
+
+// NewMulti starts a gateway over several engines — one per committee in
+// a scaled-out deployment. Each engine gets its own dispatcher pulling
+// from the shared admission queue, which yields least-loaded dispatch
+// without a balancer: an idle engine is exactly one that is back at the
+// queue competing for the next batch. Panics on an empty engine list.
+func NewMulti(engines []Inferencer, cfg Config) *Gateway {
+	if len(engines) == 0 {
+		panic("serve: NewMulti with no engines")
+	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 8
 	}
@@ -105,7 +126,7 @@ func New(inf Inferencer, cfg Config) *Gateway {
 		cfg.QueueBound = 256
 	}
 	g := &Gateway{
-		inf:       inf,
+		engines:   engines,
 		cfg:       cfg,
 		queue:     make(chan *pending, cfg.QueueBound),
 		stop:      make(chan struct{}),
@@ -120,10 +141,19 @@ func New(inf Inferencer, cfg Config) *Gateway {
 		latency:   cfg.Obs.Histogram("serve.latency"),
 		passTime:  cfg.Obs.Histogram("serve.pass"),
 	}
-	g.wg.Add(1)
-	go g.dispatch()
+	cfg.Obs.Gauge("serve.engines").Set(int64(len(engines)))
+	for i := range engines {
+		g.perEngine = append(g.perEngine, cfg.Obs.Counter(fmt.Sprintf("serve.engine.%d.batches", i)))
+	}
+	for i := range engines {
+		g.wg.Add(1)
+		go g.dispatch(i)
+	}
 	return g
 }
+
+// Engines returns the engine count (committees behind the gateway).
+func (g *Gateway) Engines() int { return len(g.engines) }
 
 // Classify queues one image and blocks until its batch is served or
 // ctx ends. Returns ErrOverloaded without blocking when the admission
@@ -176,10 +206,12 @@ func (g *Gateway) Classify(ctx context.Context, img mnist.Image) (int, error) {
 	}
 }
 
-// dispatch is the single batcher loop: take one request, wait at most
-// MaxDelay for the batch to fill, run one secure pass, fan the labels
-// back out.
-func (g *Gateway) dispatch() {
+// dispatch is one engine's batcher loop: take one request, wait at
+// most MaxDelay for the batch to fill, run one secure pass on this
+// engine, fan the labels back out. With several engines the loops
+// compete for the shared queue, so batches land on whichever engine is
+// idle.
+func (g *Gateway) dispatch(engine int) {
 	defer g.wg.Done()
 	for {
 		var first *pending
@@ -191,7 +223,7 @@ func (g *Gateway) dispatch() {
 		}
 		batch := g.collect(first)
 		g.depth.Set(int64(len(g.queue)))
-		g.serve(batch)
+		g.serve(engine, batch)
 	}
 }
 
@@ -231,13 +263,13 @@ func (g *Gateway) collect(first *pending) []*pending {
 	return batch
 }
 
-// serve runs one secure pass over the batch and replies to every
-// member. A pass error fans out to the whole batch — the images shared
-// one protocol execution, so they share its fate. Entries whose caller
-// already gave up are dropped here, after collection and before the
-// pass, so a cancelled request never occupies a secure-pass slot; an
-// all-cancelled batch skips the pass entirely.
-func (g *Gateway) serve(batch []*pending) {
+// serve runs one secure pass over the batch on the given engine and
+// replies to every member. A pass error fans out to the whole batch —
+// the images shared one protocol execution, so they share its fate.
+// Entries whose caller already gave up are dropped here, after
+// collection and before the pass, so a cancelled request never occupies
+// a secure-pass slot; an all-cancelled batch skips the pass entirely.
+func (g *Gateway) serve(engine int, batch []*pending) {
 	live := batch[:0]
 	for _, p := range batch {
 		if err := p.ctx.Err(); err != nil {
@@ -256,9 +288,10 @@ func (g *Gateway) serve(batch []*pending) {
 		imgs[i] = p.img
 	}
 	start := time.Now()
-	labels, err := g.inf.InferBatch(imgs)
+	labels, err := g.engines[engine].InferBatch(imgs)
 	g.passTime.Observe(time.Since(start))
 	g.batches.Inc()
+	g.perEngine[engine].Inc()
 	g.images.Add(int64(len(batch)))
 	if err == nil && len(labels) != len(batch) {
 		err = fmt.Errorf("serve: engine returned %d labels for %d images", len(labels), len(batch))
@@ -273,6 +306,8 @@ func (g *Gateway) serve(batch []*pending) {
 }
 
 // drain answers everything still queued at shutdown with ErrClosed.
+// Every dispatcher runs it on exit; the concurrent receives are safe
+// and between them leave the queue empty.
 func (g *Gateway) drain() {
 	for {
 		select {
@@ -286,7 +321,7 @@ func (g *Gateway) drain() {
 }
 
 // Close stops admitting requests, fails everything still queued with
-// ErrClosed and waits for the dispatcher to exit. Idempotent.
+// ErrClosed and waits for every dispatcher to exit. Idempotent.
 func (g *Gateway) Close() {
 	g.mu.Lock()
 	if g.closed {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -464,5 +465,95 @@ func TestServeClusterE2E(t *testing.T) {
 	}
 	if rep.OK == 0 {
 		t.Fatalf("nothing served: %+v", rep)
+	}
+}
+
+// TestMultiEngineGatewayBalancesLoad drives concurrent clients through
+// a gateway over several engines and checks (a) no reply is
+// cross-wired, (b) every engine actually served batches — the shared
+// queue must spread work across idle engines, not serialize on one.
+func TestMultiEngineGatewayBalancesLoad(t *testing.T) {
+	engines := []*stubEngine{
+		{delay: time.Millisecond},
+		{delay: time.Millisecond},
+		{delay: time.Millisecond},
+	}
+	infs := make([]serve.Inferencer, len(engines))
+	for i, e := range engines {
+		infs[i] = e
+	}
+	reg := obs.NewRegistry("test")
+	g := serve.NewMulti(infs, serve.Config{MaxBatch: 4, MaxDelay: time.Millisecond, QueueBound: 1024, Obs: reg})
+	defer g.Close()
+
+	if g.Engines() != 3 {
+		t.Fatalf("Engines() = %d, want 3", g.Engines())
+	}
+	const clients = 48
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < 4; k++ {
+				tag := c*100 + k
+				label, err := g.Classify(context.Background(), taggedImage(tag))
+				if err != nil {
+					t.Errorf("classify: %v", err)
+					return
+				}
+				if label != tag {
+					t.Errorf("client %d: got %d, want %d (cross-wired across engines)", c, label, tag)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if got := reg.Counter("serve.responses").Value(); got != clients*4 {
+		t.Fatalf("serve.responses = %d, want %d", got, clients*4)
+	}
+	if got := reg.Gauge("serve.engines").Value(); got != 3 {
+		t.Errorf("serve.engines = %d, want 3", got)
+	}
+	var total int64
+	for i := range engines {
+		n := reg.Counter(fmt.Sprintf("serve.engine.%d.batches", i)).Value()
+		if n == 0 {
+			t.Errorf("engine %d served no batches: dispatch never reached it", i)
+		}
+		total += n
+	}
+	if batches := reg.Counter("serve.batches").Value(); total != batches {
+		t.Errorf("per-engine batch counters sum to %d, serve.batches = %d", total, batches)
+	}
+}
+
+// TestMultiEngineCloseDrains checks shutdown with several dispatchers:
+// everything queued is answered (ErrClosed), nothing hangs, Close is
+// idempotent.
+func TestMultiEngineCloseDrains(t *testing.T) {
+	slow := &stubEngine{delay: 20 * time.Millisecond}
+	g := serve.NewMulti([]serve.Inferencer{slow, slow}, serve.Config{
+		MaxBatch: 1, MaxDelay: -1, QueueBound: 64,
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for c := 0; c < 32; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			_, err := g.Classify(context.Background(), taggedImage(c))
+			errs <- err
+		}(c)
+	}
+	time.Sleep(5 * time.Millisecond)
+	g.Close()
+	g.Close() // idempotent
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil && !errors.Is(err, serve.ErrClosed) {
+			t.Fatalf("unexpected error at shutdown: %v", err)
+		}
 	}
 }

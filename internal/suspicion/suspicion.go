@@ -56,6 +56,25 @@ const (
 	// KindSpoof: a frame claimed to originate from a different actor
 	// than the authenticated transport attributed it to.
 	KindSpoof Kind = "spoof"
+
+	// The committee-tier kinds below are recorded against committee IDs
+	// (not party IDs) in the inter-committee coordinator's global
+	// ledger; see internal/committee.
+
+	// KindProbeFailure: a committee's epoch delta catastrophically
+	// degraded the coordinator's held-out probe loss (or produced
+	// non-finite weights). Honest SGD on any data shard cannot do this;
+	// only a committee whose majority is corrupted can.
+	KindProbeFailure Kind = "probe-failure"
+	// KindAggregateDeviation: a committee's epoch delta was a
+	// statistical outlier against the robust aggregate of its peers
+	// (or mildly regressed the probe loss). Repeated observations
+	// convict; a single one can be an unlucky shard.
+	KindAggregateDeviation Kind = "aggregate-deviation"
+	// KindCommitteeCompromise: a committee's own internal suspicion
+	// ledger convicted a majority of its parties, so the 3PC honest-
+	// majority assumption no longer holds inside it.
+	KindCommitteeCompromise Kind = "committee-compromise"
 )
 
 // Attributable reports whether evidence of this kind can only be
@@ -63,7 +82,8 @@ const (
 // link). Only attributable evidence counts toward a conviction.
 func (k Kind) Attributable() bool {
 	switch k {
-	case KindCommitViolation, KindDecisionDeviation, KindSpoof:
+	case KindCommitViolation, KindDecisionDeviation, KindSpoof,
+		KindProbeFailure, KindAggregateDeviation, KindCommitteeCompromise:
 		return true
 	}
 	return false
@@ -78,8 +98,17 @@ func (k Kind) Attributable() bool {
 // that caught it excludes its shares unilaterally, so the honest views
 // legitimately diverge and the victim's subsequent reconstruction sets
 // can deviate through no fault of its own.
+//
+// At the committee tier the same logic holds arithmetically rather
+// than cryptographically: a catastrophic probe failure or an internal
+// majority conviction can only come from the committee that produced
+// it, so one observation convicts the committee.
 func (k Kind) Proven() bool {
-	return k == KindCommitViolation || k == KindSpoof
+	switch k {
+	case KindCommitViolation, KindSpoof, KindProbeFailure, KindCommitteeCompromise:
+		return true
+	}
+	return false
 }
 
 // Evidence is the ledger's per-(party, kind) record. Session and Step

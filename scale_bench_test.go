@@ -1,0 +1,96 @@
+// The scale-out measurement at the public API level: committee
+// sharding must buy near-linear epoch speedup once propagation delay
+// (the resource it parallelizes) dominates, and a fully poisoned
+// committee must be convicted, excluded and re-routed around without
+// costing final accuracy.
+package trustddl_test
+
+import (
+	"math"
+	"testing"
+
+	trustddl "github.com/trustddl/trustddl"
+)
+
+// TestBenchScaleJSON runs the committee scale-out measurement, asserts
+// the speedup floors and the Byzantine-robustness properties, and
+// persists BENCH_scale.json for trend tracking across PRs.
+func TestBenchScaleJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-committee secure training measurement; skipped in -short runs")
+	}
+	cfg := trustddl.ScaleConfig{Committees: []int{1, 2, 4}}
+	rows, err := trustddl.ScaleBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	honest := map[int]trustddl.ScaleRow{}
+	poisoned := map[int]trustddl.ScaleRow{}
+	for _, r := range rows {
+		if r.Poisoned {
+			poisoned[r.Committees] = r
+		} else {
+			honest[r.Committees] = r
+		}
+	}
+	for _, n := range []int{1, 2, 4} {
+		if _, ok := honest[n]; !ok {
+			t.Fatalf("missing honest row for %d committees", n)
+		}
+	}
+	for _, n := range []int{2, 4} {
+		if _, ok := poisoned[n]; !ok {
+			t.Fatalf("missing poisoned row for %d committees", n)
+		}
+	}
+
+	// Speedup floors: with per-step propagation dominating per-step
+	// compute, sharding the epoch across N committees must overlap the
+	// round trips near-linearly.
+	if s := honest[2].SpeedupX; s < 1.7 {
+		t.Errorf("2-committee epoch speedup %.2fx, want >= 1.7x", s)
+	}
+	if s := honest[4].SpeedupX; s < 3.0 {
+		t.Errorf("4-committee epoch speedup %.2fx, want >= 3.0x", s)
+	}
+
+	for _, n := range []int{1, 2, 4} {
+		r := honest[n]
+		if len(r.Convicted) != 0 || len(r.Excluded) != 0 {
+			t.Errorf("honest %d-committee run convicted %v / excluded %v", n, r.Convicted, r.Excluded)
+		}
+		if r.ThroughputRPS <= 0 {
+			t.Errorf("honest %d-committee run served nothing", n)
+		}
+		if r.Accuracy <= 0.2 {
+			t.Errorf("honest %d-committee accuracy %.3f: model did not train", n, r.Accuracy)
+		}
+	}
+
+	// Robustness: the fully poisoned committee is convicted in the
+	// global ledger, excluded from rotation, its shard re-routed, and
+	// the robust aggregate holds final accuracy within 2% of the
+	// honest run.
+	for _, n := range []int{2, 4} {
+		r := poisoned[n]
+		if len(r.Convicted) != 1 || r.Convicted[0] != n {
+			t.Errorf("%d-committee poisoned run convicted %v, want [%d]", n, r.Convicted, n)
+		}
+		if len(r.Excluded) != 1 || r.Excluded[0] != n {
+			t.Errorf("%d-committee poisoned run excluded %v, want [%d]", n, r.Excluded, n)
+		}
+		if r.Rerouted == 0 {
+			t.Errorf("%d-committee poisoned run re-routed no shards", n)
+		}
+		if d := math.Abs(r.Accuracy - honest[n].Accuracy); d > 0.02 {
+			t.Errorf("%d committees: poisoned accuracy %.3f vs honest %.3f (Δ %.3f), want within 0.02",
+				n, r.Accuracy, honest[n].Accuracy, d)
+		}
+	}
+
+	if err := trustddl.WriteScaleJSON("BENCH_scale.json", cfg, rows); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + trustddl.FormatScale(rows))
+}
