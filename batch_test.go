@@ -8,6 +8,7 @@
 package trustddl_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -60,7 +61,7 @@ func TestBatchInferMatchesSequential(t *testing.T) {
 	ds := trustddl.SyntheticDataset(23, 32)
 	for _, n := range batchSizes {
 		images := ds.Images[:n]
-		batchLabels, err := run.InferBatch(images)
+		batchLabels, err := run.InferBatch(context.Background(), images)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func TestBatchInferUnderConsistentLiar(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantLabels, err := honest.InferBatch(ds.Images)
+	wantLabels, err := honest.InferBatch(context.Background(), ds.Images)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestBatchInferUnderConsistentLiar(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotLabels, err := byz.InferBatch(ds.Images)
+	gotLabels, err := byz.InferBatch(context.Background(), ds.Images)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,11 +197,11 @@ func mixedBatchRun(t *testing.T, depth int) ([]nn.Mat64, []int) {
 	if err := run.TrainBatch(ds.Images[:2], 0.1); err != nil {
 		t.Fatal(err)
 	}
-	step(func() ([]int, error) { return run.InferBatch(ds.Images[2:5]) })
+	step(func() ([]int, error) { return run.InferBatch(context.Background(), ds.Images[2:5]) })
 	if err := run.TrainBatch(ds.Images[5:6], 0.1); err != nil {
 		t.Fatal(err)
 	}
-	step(func() ([]int, error) { return run.InferBatch(ds.Images[6:10]) })
+	step(func() ([]int, error) { return run.InferBatch(context.Background(), ds.Images[6:10]) })
 	step(func() ([]int, error) {
 		label, err := run.Infer(ds.Images[0])
 		return []int{label}, err

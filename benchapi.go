@@ -157,3 +157,31 @@ func PrecisionSweep(cfg PrecisionConfig) ([]PrecisionPoint, error) { return benc
 
 // FormatPrecision renders the sweep as a table.
 func FormatPrecision(points []PrecisionPoint) string { return bench.FormatPrecision(points) }
+
+// ResilienceConfig parameterizes the chaos-driven availability
+// measurement: phased load at a committee-sharded gateway while fault
+// windows (stall, crash, Byzantine) open on one committee.
+type ResilienceConfig = bench.ResilienceConfig
+
+// ResilienceResult is the chaos measurement report.
+type ResilienceResult = bench.ResilienceResult
+
+// ResilienceRow is one measured fault window.
+type ResilienceRow = bench.ResilienceRow
+
+// ResiliencePhase is one before/during/after load slice.
+type ResiliencePhase = bench.ResiliencePhase
+
+// ResilienceBench measures serving availability around chaos fault
+// windows: per-phase exactly-once load accounting, retry/probe counter
+// deltas and recovery time.
+func ResilienceBench(cfg ResilienceConfig) (ResilienceResult, error) { return bench.Resilience(cfg) }
+
+// WriteResilienceJSON persists a ResilienceBench measurement
+// (BENCH_resilience.json).
+func WriteResilienceJSON(path string, res ResilienceResult) error {
+	return bench.WriteResilienceJSON(path, res)
+}
+
+// FormatResilience renders a ResilienceBench measurement as a table.
+func FormatResilience(res ResilienceResult) string { return bench.FormatResilience(res) }

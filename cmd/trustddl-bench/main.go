@@ -11,6 +11,13 @@
 //	               [-serve] [-serve-batches 1,2,4,8] [-serve-json PATH]
 //	               [-hotpath] [-hotpath-batch N] [-hotpath-json PATH]
 //	               [-scale] [-scale-committees 1,2,4] [-scale-json PATH]
+//	               [-resilience] [-resilience-committees 2] [-resilience-json PATH]
+//
+// With -resilience the chaos-driven availability benchmark runs
+// instead: phased client load at a committee-sharded gateway while
+// fault windows (stalled writer, crash-dark party, gated Byzantine
+// liar) open on one committee — per-phase availability, latency
+// percentiles, retry/probe counters and recovery time.
 //
 // With -scale the committee scale-out benchmark runs instead: the
 // training epoch sharded across N independent 3-party committees over a
@@ -72,6 +79,9 @@ func run(args []string) error {
 	scaleRun := fs.Bool("scale", false, "run the committee scale-out benchmark (epoch speedup, serve throughput, poisoned-committee robustness) instead of Table II")
 	scaleCommittees := fs.String("scale-committees", "1,2,4", "with -scale, comma-separated committee-count grid")
 	scaleJSON := fs.String("scale-json", "", "with -scale, also write the report to this file (e.g. BENCH_scale.json)")
+	resilienceRun := fs.Bool("resilience", false, "run the chaos availability benchmark (fault windows on one committee under phased load) instead of Table II")
+	resilienceCommittees := fs.Int("resilience-committees", 2, "with -resilience, committee count behind the gateway (committee 1 is faulted)")
+	resilienceJSON := fs.String("resilience-json", "", "with -resilience, also write the report to this file (e.g. BENCH_resilience.json)")
 	pooling := fs.Bool("pooling", true, "hot-path buffer pools (matrix + transport frame reuse)")
 	bulkCodec := fs.Bool("bulk-codec", true, "bulk-copy wire codec for matrix bodies")
 	if err := fs.Parse(args); err != nil {
@@ -80,6 +90,9 @@ func run(args []string) error {
 	trustddl.SetPooling(*pooling)
 	trustddl.SetBulkCodec(*bulkCodec)
 
+	if *resilienceRun || *resilienceJSON != "" {
+		return runResilience(*seed, *resilienceCommittees, *resilienceJSON)
+	}
 	if *scaleRun || *scaleJSON != "" {
 		return runScale(*seed, *scaleCommittees, *scaleJSON)
 	}
@@ -154,6 +167,26 @@ func runScale(seed uint64, committees, jsonPath string) error {
 	fmt.Print(trustddl.FormatScale(rows))
 	if jsonPath != "" {
 		if err := trustddl.WriteScaleJSON(jsonPath, cfg, rows); err != nil {
+			return err
+		}
+		fmt.Printf("\nreport written to %s\n", jsonPath)
+	}
+	return nil
+}
+
+// runResilience drives the chaos-driven availability benchmark.
+func runResilience(seed uint64, committees int, jsonPath string) error {
+	cfg := trustddl.ResilienceConfig{Seed: seed, Committees: committees}
+	fmt.Println("TrustDDL resilience benchmark (chaos fault windows under phased serving load)")
+	fmt.Println("(stall / crash / byzantine on committee 1; availability before, during and after each window)")
+	fmt.Println()
+	res, err := trustddl.ResilienceBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(trustddl.FormatResilience(res))
+	if jsonPath != "" {
+		if err := trustddl.WriteResilienceJSON(jsonPath, res); err != nil {
 			return err
 		}
 		fmt.Printf("\nreport written to %s\n", jsonPath)

@@ -15,18 +15,35 @@
 // engine over the shared admission queue — least-loaded dispatch, N
 // secure passes in flight at once.
 //
+// Serving is fault-tolerant (DESIGN.md §15): every secure pass runs
+// under -request-timeout, a failed or expired batch is re-dispatched
+// onto a different healthy engine under -retry-budget, and a circuit
+// breaker per engine quarantines after consecutive failures — with
+// committees, re-admission requires a clean pass over the coordinator's
+// held-out probe batch (every -probe-every), and a committee whose
+// internal suspicion ledger reaches a conviction majority is evicted
+// from rotation permanently.
+//
+// The -chaos-stall-* flags open a one-shot fault window on a running
+// server (a stalled writer inside one committee), so availability under
+// partial failure can be demonstrated against the real binary — the CI
+// chaos smoke job drives exactly that.
+//
 // Usage:
 //
 //	trustddl-serve [-addr 127.0.0.1:8088] [-max-batch 8] [-max-delay 2ms]
 //	               [-queue 256] [-metrics-addr :9090] [-model FILE]
 //	               [-seed 1] [-hbc] [-optimistic] [-prefetch-depth 0]
 //	               [-committees 1] [-parallelism P]
+//	               [-request-timeout 30s] [-retry-budget 1] [-probe-every 1s]
+//	               [-chaos-stall-committee 0] [-chaos-stall-after 5s] [-chaos-stall-for 10s]
 //	               [-pooling=true] [-bulk-codec=true]
 //
 // API:
 //
 //	POST /infer    {"pixels":[...784 floats...]} → {"label":N}
-//	GET  /healthz  liveness probe
+//	GET  /healthz  liveness probe (the process is up)
+//	GET  /readyz   readiness probe (503 until an engine is healthy)
 package main
 
 import (
@@ -41,7 +58,9 @@ import (
 	"time"
 
 	trustddl "github.com/trustddl/trustddl"
+	"github.com/trustddl/trustddl/internal/byzantine"
 	"github.com/trustddl/trustddl/internal/serve"
+	"github.com/trustddl/trustddl/internal/transport"
 )
 
 func main() {
@@ -64,6 +83,12 @@ func run(args []string) error {
 	optimistic := fs.Bool("optimistic", false, "reduced-redundancy opening (§V future work)")
 	prefetch := fs.Int("prefetch-depth", 0, "triple pipeline depth (0 = default, -1 = on-demand dealing)")
 	committees := fs.Int("committees", 1, "independent 3-party committees serving in parallel (one gateway dispatcher each)")
+	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-pass deadline; an expired batch is retried on another engine (negative: no deadline)")
+	retryBudget := fs.Int("retry-budget", 1, "re-dispatches allowed per request after a failed or expired pass (negative: none)")
+	probeEvery := fs.Duration("probe-every", time.Second, "re-admission probe cadence for quarantined engines (also the eviction-watcher poll interval)")
+	chaosStallCommittee := fs.Int("chaos-stall-committee", 0, "fault injection: stall a party of this committee (1-based) for one window; 0 disables")
+	chaosStallAfter := fs.Duration("chaos-stall-after", 5*time.Second, "with -chaos-stall-committee, when the stall window opens after serving starts")
+	chaosStallFor := fs.Duration("chaos-stall-for", 10*time.Second, "with -chaos-stall-committee, how long the stall window stays open")
 	parallelism := fs.Int("parallelism", 0, "tensor-kernel worker goroutines (0 = NumCPU, 1 = serial)")
 	pooling := fs.Bool("pooling", true, "hot-path buffer pools (matrix + transport frame reuse)")
 	bulkCodec := fs.Bool("bulk-codec", true, "bulk-copy wire codec for matrix bodies")
@@ -103,21 +128,37 @@ func run(args []string) error {
 		mode = trustddl.HonestButCurious
 	}
 	scfg := serve.Config{
-		MaxBatch:   *maxBatch,
-		MaxDelay:   *maxDelay,
-		QueueBound: *queue,
-		Obs:        reg,
+		MaxBatch:       *maxBatch,
+		MaxDelay:       *maxDelay,
+		QueueBound:     *queue,
+		RequestTimeout: *requestTimeout,
+		RetryBudget:    *retryBudget,
+		ProbeEvery:     *probeEvery,
+		Obs:            reg,
+	}
+	if *chaosStallCommittee > *committees {
+		return fmt.Errorf("-chaos-stall-committee %d but only %d committee(s)", *chaosStallCommittee, *committees)
 	}
 	var gw *serve.Gateway
 	if *committees > 1 {
-		coord, err := trustddl.NewCoordinator(arch, weights, trustddl.CommitteeConfig{
+		ccfg := trustddl.CommitteeConfig{
 			Committees:    *committees,
 			Mode:          mode,
 			Seed:          *seed,
 			Optimistic:    *optimistic,
 			PrefetchDepth: *prefetch,
 			Obs:           reg,
-		})
+		}
+		// The chaos window wires a gated stalled-writer interceptor into
+		// the target committee at construction; the schedule below opens
+		// and closes it while the server runs.
+		var stallGate byzantine.Gate
+		if *chaosStallCommittee > 0 {
+			ccfg.Interceptors = map[int]map[int]transport.SendInterceptor{
+				*chaosStallCommittee: {1: byzantine.StallWhile(&stallGate, "")},
+			}
+		}
+		coord, err := trustddl.NewCoordinator(arch, weights, ccfg)
 		if err != nil {
 			return err
 		}
@@ -127,7 +168,36 @@ func run(args []string) error {
 		for i, r := range runs {
 			engines[i] = r
 		}
+		// Quarantined engines must re-earn rotation with a clean pass over
+		// the coordinator's held-out probe batch; the expected labels come
+		// from a healthy secure engine now, before any chaos window opens
+		// (the committees are bit-identical on inference).
+		scfg.Probe = coord.ServeProbe(0)
+		scfg.ProbeExpect, err = runs[len(runs)-1].InferBatch(context.Background(), scfg.Probe)
+		if err != nil {
+			return err
+		}
 		gw = serve.NewMulti(engines, scfg)
+		if *chaosStallCommittee > 0 {
+			go func() {
+				time.Sleep(*chaosStallAfter)
+				fmt.Printf("chaos: stalling committee %d for %s\n", *chaosStallCommittee, *chaosStallFor)
+				stallGate.Set(true)
+				time.Sleep(*chaosStallFor)
+				stallGate.Set(false)
+				fmt.Printf("chaos: committee %d released\n", *chaosStallCommittee)
+			}()
+		}
+		// Eviction watcher: a committee whose internal suspicion ledger
+		// reaches a conviction majority is removed from rotation for good.
+		go func(gw *serve.Gateway) {
+			for {
+				time.Sleep(*probeEvery)
+				for _, idx := range coord.CompromisedEngines() {
+					gw.Evict(idx)
+				}
+			}
+		}(gw)
 	} else {
 		cluster, err := trustddl.New(trustddl.Config{
 			Mode:          mode,
@@ -162,6 +232,8 @@ func run(args []string) error {
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("serving private inference on http://%s/infer (%s mode, %d engine(s), max-batch %d, max-delay %s, queue %d)\n",
 		*addr, mode, gw.Engines(), *maxBatch, *maxDelay, *queue)
+	fmt.Printf("resilience: request-timeout %s, retry-budget %d, probe-every %s\n",
+		*requestTimeout, *retryBudget, *probeEvery)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

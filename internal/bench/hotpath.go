@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -174,11 +175,11 @@ func measureSecureInfer(cfg HotpathConfig) (HotpathCell, error) {
 	}
 	images := mnist.Synthetic(cfg.Seed, cfg.Batch).Images
 	// Warm-up: session plumbing, pool fill, connection setup.
-	if _, err := run.InferBatch(images); err != nil {
+	if _, err := run.InferBatch(context.Background(), images); err != nil {
 		return HotpathCell{}, err
 	}
 	return measureOp(cfg.Iterations, func() error {
-		_, err := run.InferBatch(images)
+		_, err := run.InferBatch(context.Background(), images)
 		return err
 	})
 }

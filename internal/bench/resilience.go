@@ -1,0 +1,382 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"github.com/trustddl/trustddl/internal/byzantine"
+	"github.com/trustddl/trustddl/internal/committee"
+	"github.com/trustddl/trustddl/internal/core"
+	"github.com/trustddl/trustddl/internal/mnist"
+	"github.com/trustddl/trustddl/internal/nn"
+	"github.com/trustddl/trustddl/internal/obs"
+	"github.com/trustddl/trustddl/internal/protocol"
+	"github.com/trustddl/trustddl/internal/serve"
+	"github.com/trustddl/trustddl/internal/transport"
+)
+
+// The availability experiment: what the serving stack's fault tolerance
+// is actually worth. A multi-committee gateway is driven with steady
+// client load while a chaos schedule opens fault windows on one
+// committee — a stalled writer, a crash-dark party, a gated Byzantine
+// liar — and the load harness slices its exactly-once accounting into
+// before/during/after phases per window. The claim under test: with one
+// committee faulted mid-load, pass deadlines, retry/failover and the
+// engine circuit breaker keep availability high on the surviving
+// committees, and capacity is fully restored once the window closes.
+
+// Fault kinds the chaos schedule can open on the target committee.
+const (
+	// FaultStall wedges one party's sender mid-pass (byzantine.StallWhile):
+	// the in-flight pass cannot unwind until the window closes, so the
+	// gateway must deadline it, park the engine as an orphan and carry
+	// the load on the other committees.
+	FaultStall = "stall"
+	// FaultCrash makes one party dark (byzantine.CrashRestart): its sends
+	// are dropped, passes fail at the deadline, and the breaker
+	// quarantines the engine until a probe pass succeeds after the
+	// window.
+	FaultCrash = "crash"
+	// FaultByzantine makes one party a gated consistent liar: passes keep
+	// succeeding because the reconstruction decision rule neutralizes a
+	// single liar, so availability should be unaffected — the window
+	// costs robustness machinery, not capacity.
+	FaultByzantine = "byzantine"
+)
+
+// ResilienceConfig parameterizes the chaos measurement.
+type ResilienceConfig struct {
+	// Committees is the committee count behind the gateway (default 2).
+	// Committee 1 is the fault target; the rest stay healthy.
+	Committees int
+	// Clients and RequestsPerClient size each phase's load slice
+	// (defaults 6 and 8): every phase fires Clients×RequestsPerClient
+	// requests at the live gateway.
+	Clients           int
+	RequestsPerClient int
+	// MaxBatch and QueueBound configure the gateway (defaults 4 and 64).
+	MaxBatch   int
+	QueueBound int
+	// RequestTimeout is the per-pass deadline (default 500ms) — the
+	// knob that bounds how long a faulted committee can hold a batch.
+	RequestTimeout time.Duration
+	// RetryBudget is the per-request re-dispatch allowance (default 2).
+	RetryBudget int
+	// FailThreshold and ProbeEvery configure the engine circuit breaker
+	// (defaults 2 and 100ms).
+	FailThreshold int
+	ProbeEvery    time.Duration
+	// ProbeSize is the gateway's held-out probe batch size (default 4),
+	// drawn from the committee screening stream (Coordinator.ServeProbe).
+	ProbeSize int
+	// RecoveryWait bounds how long to wait, after a window closes, for
+	// every engine to be back in rotation before the "after" phase
+	// (default 5s).
+	RecoveryWait time.Duration
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Faults lists the windows to measure, in order (default stall,
+	// crash, byzantine).
+	Faults []string
+}
+
+func (cfg *ResilienceConfig) defaults() {
+	if cfg.Committees <= 0 {
+		cfg.Committees = 2
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 6
+	}
+	if cfg.RequestsPerClient <= 0 {
+		cfg.RequestsPerClient = 8
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4
+	}
+	if cfg.QueueBound <= 0 {
+		cfg.QueueBound = 64
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 500 * time.Millisecond
+	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 2
+	}
+	if cfg.FailThreshold == 0 {
+		cfg.FailThreshold = 2
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 100 * time.Millisecond
+	}
+	if cfg.ProbeSize <= 0 {
+		cfg.ProbeSize = 4
+	}
+	if cfg.RecoveryWait <= 0 {
+		cfg.RecoveryWait = 5 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if len(cfg.Faults) == 0 {
+		cfg.Faults = []string{FaultStall, FaultCrash, FaultByzantine}
+	}
+}
+
+// ResiliencePhase is one phase's slice of the load accounting.
+type ResiliencePhase struct {
+	Sent         int64   `json:"sent"`
+	OK           int64   `json:"ok"`
+	Rejected     int64   `json:"rejected"`
+	Failed       int64   `json:"failed"`
+	Mismatched   int64   `json:"mismatched"`
+	Availability float64 `json:"availability"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+}
+
+// ResilienceRow is one measured fault window.
+type ResilienceRow struct {
+	Fault string `json:"fault"`
+	// Before/During/After are the load slices around the window: the
+	// gate opens after Before completes and closes after During.
+	Before ResiliencePhase `json:"before"`
+	During ResiliencePhase `json:"during"`
+	After  ResiliencePhase `json:"after"`
+	// Retries/Probes/FailedProbes/Exhausted are the gateway counter
+	// deltas over this window's whole cycle — how much resilience
+	// machinery the fault actually engaged.
+	Retries      int64 `json:"retries"`
+	Probes       int64 `json:"probes"`
+	FailedProbes int64 `json:"failed_probes"`
+	Exhausted    int64 `json:"exhausted"`
+	// RecoveredMS is how long after the window closed every engine was
+	// back in rotation (healthy, by the breaker's accounting).
+	RecoveredMS float64 `json:"recovered_ms"`
+	// Evicted lists engines the coordinator's suspicion rollup convicted
+	// during the window (expected empty: none of these faults yields
+	// attributable evidence against a majority).
+	Evicted []int `json:"evicted,omitempty"`
+}
+
+// ResilienceResult is the whole chaos measurement.
+type ResilienceResult struct {
+	Committees       int             `json:"committees"`
+	Clients          int             `json:"clients"`
+	Requests         int             `json:"requests_per_client"`
+	RequestTimeoutMS float64         `json:"request_timeout_ms"`
+	RetryBudget      int             `json:"retry_budget"`
+	Rows             []ResilienceRow `json:"rows"`
+}
+
+// Resilience stands up a committee-sharded gateway, drives phased load
+// through it while a chaos schedule faults committee 1, and reports
+// per-phase availability and the resilience counters each fault
+// engaged.
+func Resilience(cfg ResilienceConfig) (ResilienceResult, error) {
+	cfg.defaults()
+	res := ResilienceResult{
+		Committees:       cfg.Committees,
+		Clients:          cfg.Clients,
+		Requests:         cfg.RequestsPerClient,
+		RequestTimeoutMS: float64(cfg.RequestTimeout) / float64(time.Millisecond),
+		RetryBudget:      cfg.RetryBudget,
+	}
+	prev := setHotpath(true) // the production configuration
+	defer prev.restore()
+
+	arch := nn.PaperArch()
+	weights, err := arch.InitWeights(cfg.Seed)
+	if err != nil {
+		return res, err
+	}
+
+	// All three fault injectors are wired at construction on committee 1
+	// — one per party, each behind its own gate, all initially closed.
+	var stallGate, crashGate, byzGate byzantine.Gate
+	gates := map[string]*byzantine.Gate{
+		FaultStall:     &stallGate,
+		FaultCrash:     &crashGate,
+		FaultByzantine: &byzGate,
+	}
+	for _, f := range cfg.Faults {
+		if gates[f] == nil {
+			return res, fmt.Errorf("bench: unknown fault %q (want %s, %s or %s)", f, FaultStall, FaultCrash, FaultByzantine)
+		}
+	}
+	coord, err := committee.New(arch, weights, committee.Config{
+		Committees: cfg.Committees,
+		Mode:       core.Malicious,
+		Triples:    core.OnlineDealing,
+		Seed:       cfg.Seed,
+		Interceptors: map[int]map[int]transport.SendInterceptor{
+			1: {
+				1: byzantine.StallWhile(&stallGate, ""),
+				2: byzantine.CrashRestart(&crashGate),
+			},
+		},
+		Adversaries: map[int]map[int]protocol.Adversary{
+			1: {3: byzGate.Adversary(byzantine.ConsistentLiar{})},
+		},
+	})
+	if err != nil {
+		return res, err
+	}
+	defer coord.Close()
+
+	runs := coord.Engines()
+	engines := make([]serve.Inferencer, len(runs))
+	for i, r := range runs {
+		engines[i] = r
+	}
+	// Reference labels come from a healthy secure engine before any
+	// window opens: the committees are bit-identical on inference, so
+	// any 200 disagreeing with them during a fault is a cross-wired or
+	// corrupted reply. The probe expectation reuses the same engine.
+	healthy := runs[len(runs)-1]
+	images := mnist.Synthetic(cfg.Seed+2, 8).Images
+	expect, err := healthy.InferBatch(context.Background(), images)
+	if err != nil {
+		return res, err
+	}
+	probe := coord.ServeProbe(cfg.ProbeSize)
+	probeExpect, err := healthy.InferBatch(context.Background(), probe)
+	if err != nil {
+		return res, err
+	}
+
+	reg := obs.NewRegistry("bench-resilience")
+	g := serve.NewMulti(engines, serve.Config{
+		MaxBatch:       cfg.MaxBatch,
+		MaxDelay:       2 * time.Millisecond,
+		QueueBound:     cfg.QueueBound,
+		RequestTimeout: cfg.RequestTimeout,
+		RetryBudget:    cfg.RetryBudget,
+		FailThreshold:  cfg.FailThreshold,
+		ProbeEvery:     cfg.ProbeEvery,
+		Probe:          probe,
+		ProbeExpect:    probeExpect,
+		Obs:            reg,
+	})
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	phase := func(label string) (ResiliencePhase, error) {
+		rep, err := serve.RunLoad(serve.LoadConfig{
+			URL:               srv.URL,
+			Images:            images,
+			Expect:            expect,
+			Clients:           cfg.Clients,
+			RequestsPerClient: cfg.RequestsPerClient,
+			Phase:             func() string { return label },
+		})
+		if err != nil {
+			return ResiliencePhase{}, err
+		}
+		if !rep.Accounted() {
+			return ResiliencePhase{}, fmt.Errorf("bench: %s phase lost requests: %+v", label, rep)
+		}
+		p := rep.Phases[label]
+		return ResiliencePhase{
+			Sent:         p.Sent,
+			OK:           p.OK,
+			Rejected:     p.Rejected,
+			Failed:       p.Failed,
+			Mismatched:   p.Mismatched,
+			Availability: p.Availability(),
+			P50MS:        float64(p.P50) / 1e6,
+			P99MS:        float64(p.P99) / 1e6,
+		}, nil
+	}
+
+	for _, fault := range cfg.Faults {
+		gate := gates[fault]
+		row := ResilienceRow{Fault: fault}
+		retries0 := reg.Counter("serve.retries").Value()
+		probes0 := reg.Counter("serve.probes").Value()
+		probeFail0 := reg.Counter("serve.probes.failed").Value()
+		exhausted0 := reg.Counter("serve.retries.exhausted").Value()
+
+		if row.Before, err = phase(fault + "/before"); err != nil {
+			return res, err
+		}
+		gate.Set(true)
+		row.During, err = phase(fault + "/during")
+		gate.Set(false)
+		if err != nil {
+			return res, err
+		}
+		// Recovery: wait for every engine to be back in rotation — the
+		// quarantined one must pass a real probe to get there. A stalled
+		// engine is parked on its orphan pass rather than quarantined; the
+		// flush after the gate closes settles it, which the "after" phase
+		// itself then demonstrates.
+		recStart := time.Now()
+		for g.HealthyEngines() < g.Engines() && time.Since(recStart) < cfg.RecoveryWait {
+			time.Sleep(10 * time.Millisecond)
+		}
+		row.RecoveredMS = time.Since(recStart).Seconds() * 1000
+		if row.After, err = phase(fault + "/after"); err != nil {
+			return res, err
+		}
+		// An engine whose committee reached an internal conviction
+		// majority is evicted permanently — the serving mirror of
+		// training-side exclusion. None of these faults should get there.
+		for _, idx := range coord.CompromisedEngines() {
+			g.Evict(idx)
+			row.Evicted = append(row.Evicted, idx)
+		}
+		row.Retries = reg.Counter("serve.retries").Value() - retries0
+		row.Probes = reg.Counter("serve.probes").Value() - probes0
+		row.FailedProbes = reg.Counter("serve.probes.failed").Value() - probeFail0
+		row.Exhausted = reg.Counter("serve.retries.exhausted").Value() - exhausted0
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// resilienceReport is the BENCH_resilience.json schema.
+type resilienceReport struct {
+	Benchmark string `json:"benchmark"`
+	ResilienceResult
+}
+
+// WriteResilienceJSON persists the measurement for trend tracking
+// across PRs (the BENCH_resilience.json artifact).
+func WriteResilienceJSON(path string, res ResilienceResult) error {
+	report := resilienceReport{
+		Benchmark:        "chaos-driven serving availability: phased load around stall/crash/byzantine windows on one committee",
+		ResilienceResult: res,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// FormatResilience renders the measurement as a table, one line per
+// (fault, phase).
+func FormatResilience(res ResilienceResult) string {
+	out := fmt.Sprintf("%-11s %-8s %6s %6s %5s %5s %7s %9s %9s %9s\n",
+		"Fault", "Phase", "Sent", "OK", "Fail", "Rej", "Avail", "p50 (ms)", "p99 (ms)", "Retries")
+	for _, r := range res.Rows {
+		for _, ph := range []struct {
+			name string
+			p    ResiliencePhase
+		}{{"before", r.Before}, {"during", r.During}, {"after", r.After}} {
+			retries := ""
+			if ph.name == "during" {
+				retries = fmt.Sprint(r.Retries)
+			}
+			out += fmt.Sprintf("%-11s %-8s %6d %6d %5d %5d %6.1f%% %9.1f %9.1f %9s\n",
+				r.Fault, ph.name, ph.p.Sent, ph.p.OK, ph.p.Failed, ph.p.Rejected,
+				100*ph.p.Availability, ph.p.P50MS, ph.p.P99MS, retries)
+		}
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
@@ -140,7 +141,7 @@ func measureServe(cfg ServeConfig, weights nn.PaperWeights, images []mnist.Image
 	}
 	// Warm-up outside every meter: first pass deals session-keyed
 	// randomness the steady state reuses the plan machinery for.
-	if _, err := run.InferBatch(images[:batch]); err != nil {
+	if _, err := run.InferBatch(context.Background(), images[:batch]); err != nil {
 		return ServeRow{}, err
 	}
 
@@ -149,7 +150,7 @@ func measureServe(cfg ServeConfig, weights nn.PaperWeights, images []mnist.Image
 	// Engine-level: one exact batch-B pass, metered.
 	cluster.ResetStats()
 	start := time.Now()
-	if _, err := run.InferBatch(images[:batch]); err != nil {
+	if _, err := run.InferBatch(context.Background(), images[:batch]); err != nil {
 		return ServeRow{}, err
 	}
 	row.EngineMSPerImage = time.Since(start).Seconds() * 1000 / float64(batch)

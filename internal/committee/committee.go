@@ -80,6 +80,12 @@ type Config struct {
 	// party ID → adversary. A fully poisoned committee is
 	// Adversaries[c] = {1: adv, 2: adv, 3: adv}.
 	Adversaries map[int]map[int]protocol.Adversary
+	// Interceptors rewrites parties' outbound traffic (drops, stalls,
+	// delays): committee ID (1-based) → party ID → interceptor. The
+	// chaos harness uses gated interceptors (byzantine.CrashRestart,
+	// byzantine.StallWhile) to open fault windows on one committee
+	// while the gateway keeps serving on the others.
+	Interceptors map[int]map[int]transport.SendInterceptor
 
 	// ProbeSize is the held-out screening batch size (default 32).
 	ProbeSize int
@@ -248,6 +254,7 @@ func (c *Coordinator) startMember(id int) (*member, error) {
 		Timeout:            c.cfg.Timeout,
 		Seed:               seed,
 		Adversaries:        c.cfg.Adversaries[id],
+		Interceptors:       c.cfg.Interceptors[id],
 		Optimistic:         c.cfg.Optimistic,
 		PrefetchDepth:      c.cfg.PrefetchDepth,
 		SuspicionThreshold: c.cfg.SuspicionThreshold,
@@ -685,6 +692,56 @@ func (c *Coordinator) Engines() []*core.Run {
 		if m.run != nil {
 			out = append(out, m.run)
 		}
+	}
+	return out
+}
+
+// ServeProbe draws the gateway's held-out probe batch from the same
+// stream as the screening probe (newProbe), so a quarantined engine's
+// re-admission check never collides with any committee's training
+// shard. The gateway runs this batch through a quarantined engine
+// before letting real traffic back onto it.
+func (c *Coordinator) ServeProbe(size int) []mnist.Image {
+	if size <= 0 {
+		size = 8
+	}
+	return mnist.Synthetic(c.cfg.Seed^probeSeedTag, size).Images
+}
+
+// PlainPredict classifies images under the global plaintext model (the
+// model owner's domain, like the per-epoch probe). Serving uses it to
+// derive reference labels for the gateway's probe batch.
+func (c *Coordinator) PlainPredict(images []mnist.Image) ([]int, error) {
+	net, err := c.arch.BuildPlain(c.weights)
+	if err != nil {
+		return nil, err
+	}
+	x, err := imagesMatrix(images)
+	if err != nil {
+		return nil, err
+	}
+	return net.Predict(x)
+}
+
+// CompromisedEngines reports, as indices into the engine list that
+// Engines() returned at provision time, the committees whose internal
+// suspicion ledger has reached a conviction majority — the serving-
+// time mirror of rollupInternal. A serving gateway polls it and evicts
+// those engines permanently: a committee whose honest-majority
+// assumption is void cannot be trusted with passes, probe or not.
+// Safe to call while the engines are serving — it only reads the
+// per-committee ledgers, which are internally locked.
+func (c *Coordinator) CompromisedEngines() []int {
+	var out []int
+	idx := 0
+	for _, m := range c.members {
+		if m.excluded || m.run == nil {
+			continue
+		}
+		if len(m.cluster.Suspicions().Convicted) >= internalMajority {
+			out = append(out, idx)
+		}
+		idx++
 	}
 	return out
 }

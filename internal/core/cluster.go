@@ -474,6 +474,23 @@ func (c *Cluster) runParties(fn func(i int) error) error {
 	return nil
 }
 
+// setPassDeadline caps (or, with the zero time, uncaps) every receive
+// wait of one secure pass: the three party routers and the data owner's
+// router. The serving layer runs one pass at a time per cluster, so the
+// deadline always belongs to exactly one in-flight request; a previous
+// pass's goroutines that are still unwinding only ever see their waits
+// shortened further, never extended.
+func (c *Cluster) setPassDeadline(t time.Time) {
+	for _, ctx := range c.ctxs {
+		if ctx != nil {
+			ctx.SetDeadline(t)
+		}
+	}
+	if c.dataRouter != nil {
+		c.dataRouter.SetDeadline(t)
+	}
+}
+
 // takeRevealed waits for a weight reveal recorded under session.
 func (c *Cluster) takeRevealed(session string, timeout time.Duration) (protocol.Mat, error) {
 	deadline := time.Now().Add(timeout)

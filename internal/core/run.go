@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -241,14 +242,25 @@ func (r *Run) TrainBatch(images []mnist.Image, lr float64) error {
 }
 
 // logitsFor runs the secure forward pass for a batch and reveals the
-// logits at the data owner via the six-way decision rule.
-func (r *Run) logitsFor(images []mnist.Image) (protocol.Mat, error) {
+// logits at the data owner via the six-way decision rule. A context
+// deadline caps every receive wait in the pass (party gathers, owner
+// responses, the data owner's reveal), so a stalled or crashed peer
+// fails the pass in bounded time; the deadline is cleared when the pass
+// returns.
+func (r *Run) logitsFor(ctx context.Context, images []mnist.Image) (protocol.Mat, error) {
 	if reg := r.c.cfg.Obs; reg != nil {
 		start := time.Now()
 		defer func() {
 			reg.Counter("core.infer.ops").Inc()
 			reg.Histogram("core.infer").Observe(time.Since(start))
 		}()
+	}
+	if err := ctx.Err(); err != nil {
+		return protocol.Mat{}, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		r.c.setPassDeadline(deadline)
+		defer r.c.setPassDeadline(time.Time{})
 	}
 	x, _, err := batchMatrices(images)
 	if err != nil {
@@ -281,15 +293,15 @@ func (r *Run) logitsFor(images []mnist.Image) (protocol.Mat, error) {
 	if err != nil {
 		return protocol.Mat{}, err
 	}
-	return r.c.decideAtDataOwner(session, "logits")
+	return r.c.decideAtDataOwner(ctx, session, "logits")
 }
 
 // decideAtDataOwner gathers one bundle per party at the data owner and
 // applies the reconstruction decision rule, zero-filling and flagging
 // parties that fail to deliver.
-func (c *Cluster) decideAtDataOwner(session, step string) (protocol.Mat, error) {
+func (c *Cluster) decideAtDataOwner(ctx context.Context, session, step string) (protocol.Mat, error) {
 	parties := []int{1, 2, 3}
-	msgs, gerr := c.patientGather(parties, session, step)
+	msgs, gerr := c.patientGatherCtx(ctx, parties, session, step)
 	if gerr != nil && !isGatherTimeout(gerr) {
 		// A non-timeout gather failure (closed transport, forged frame
 		// the transport rejected) is a real fault even when enough
@@ -384,6 +396,16 @@ func isGatherTimeout(err error) bool {
 // means everyone delivered; a timeout error with a partial map leaves
 // the missing parties to the caller's decision rule.
 func (c *Cluster) patientGather(parties []int, session, step string) (map[int]transport.Message, error) {
+	return c.patientGatherCtx(context.Background(), parties, session, step)
+}
+
+// patientGatherCtx is patientGather bounded by a request context: the
+// re-poll loop stops as soon as ctx ends, and the router's pass
+// deadline (set by the pass driver) caps the inner per-message waits,
+// so the data owner abandons the reveal within the request deadline. A
+// deadline-abandoned gather returns a non-timeout error — the caller
+// must fail the pass, not zero-fill and frame the silent parties.
+func (c *Cluster) patientGatherCtx(ctx context.Context, parties []int, session, step string) (map[int]transport.Message, error) {
 	deadline := time.Now().Add(c.gatherPatience())
 	msgs := make(map[int]transport.Message, len(parties))
 	var firstErr error
@@ -396,6 +418,9 @@ func (c *Cluster) patientGather(parties []int, session, step string) (map[int]tr
 		}
 		if len(missing) == 0 {
 			return msgs, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return msgs, err
 		}
 		got, gerr := c.dataRouter.Gather(missing, session, step)
 		for p, m := range got {
@@ -449,7 +474,7 @@ func zeroMat(m protocol.Mat) protocol.Mat {
 // Infer classifies one image, returning the predicted label revealed
 // to the data owner (the paper's inference task).
 func (r *Run) Infer(img mnist.Image) (int, error) {
-	logits, err := r.logitsFor([]mnist.Image{img})
+	logits, err := r.logitsFor(context.Background(), []mnist.Image{img})
 	if err != nil {
 		return 0, err
 	}
@@ -460,9 +485,13 @@ func (r *Run) Infer(img mnist.Image) (int, error) {
 // pass: the batch travels as the leading dimension of a single
 // contiguous share tensor, so every protocol round (triple deal,
 // commitment, exchange, vote, reveal) is paid once per batch instead of
-// once per image. Labels are returned in input order.
-func (r *Run) InferBatch(images []mnist.Image) ([]int, error) {
-	logits, err := r.logitsFor(images)
+// once per image. Labels are returned in input order. The context's
+// deadline bounds the whole pass: every receive wait in the committee
+// is capped by it, so a stalled or Byzantine party fails the pass
+// within the deadline (error wrapping context.DeadlineExceeded)
+// instead of wedging the caller.
+func (r *Run) InferBatch(ctx context.Context, images []mnist.Image) ([]int, error) {
+	logits, err := r.logitsFor(ctx, images)
 	if err != nil {
 		return nil, err
 	}
@@ -479,7 +508,7 @@ func (r *Run) InferBatch(images []mnist.Image) ([]int, error) {
 // path bit-for-bit against sequential single-image passes; Infer and
 // InferBatch are argmax views of the same reveal.
 func (r *Run) LogitsBatch(images []mnist.Image) (protocol.Mat, error) {
-	return r.logitsFor(images)
+	return r.logitsFor(context.Background(), images)
 }
 
 // Evaluate computes test accuracy over up to limit samples (0 = all),
@@ -501,7 +530,7 @@ func (r *Run) Evaluate(ds mnist.Dataset, limit, batch int) (float64, error) {
 		if end > n {
 			end = n
 		}
-		logits, err := r.logitsFor(ds.Images[at:end])
+		logits, err := r.logitsFor(context.Background(), ds.Images[at:end])
 		if err != nil {
 			return 0, err
 		}

@@ -6,7 +6,9 @@
 package party
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/trustddl/trustddl/internal/transport"
@@ -31,6 +33,25 @@ func (e *TimeoutError) Error() string {
 	return fmt.Sprintf("party: timed out waiting for %s (session %q, step %q)",
 		transport.ActorName(e.From), e.Session, e.Step)
 }
+
+// DeadlineError reports a receive wait abandoned because the caller's
+// pass deadline (SetDeadline) expired. It is deliberately a different
+// type from TimeoutError: a pass deadline is the *caller* giving up on
+// the whole operation, not evidence that any peer failed to deliver, so
+// it must never feed the suspicion machinery that timeouts feed.
+type DeadlineError struct {
+	Session string
+	Step    string
+}
+
+// Error implements error.
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("party: pass deadline exceeded (session %q, step %q)", e.Session, e.Step)
+}
+
+// Unwrap lets errors.Is(err, context.DeadlineExceeded) identify a
+// deadline-abandoned wait across package boundaries.
+func (e *DeadlineError) Unwrap() error { return context.DeadlineExceeded }
 
 // SpoofError reports a message whose wire sender field disagreed with
 // the pinned identity of the transport connection it arrived on — the
@@ -84,6 +105,14 @@ type Router struct {
 	pending []transport.Message // buffered arrivals, oldest first
 	spoofs  []*SpoofError
 
+	// deadline, when nonzero (unix nanos), caps every receive wait: a
+	// wait that would outlive it is shortened, and once it has passed
+	// Expect returns a DeadlineError instead of blocking for the
+	// per-message timer. It is atomic because the pass driver sets it
+	// from its own goroutine before the party goroutines start (and a
+	// previous pass's unwinding goroutine may still be mid-wait).
+	deadline atomic.Int64
+
 	// OnSpoof, when non-nil, observes each attribution fault as it is
 	// recorded (in addition to the Spoofs history). The cluster wires
 	// this to its suspicion ledger so spoofed frames become live
@@ -104,6 +133,29 @@ func (r *Router) Self() int { return r.ep.Self() }
 
 // Timeout returns the configured receive timer.
 func (r *Router) Timeout() time.Duration { return r.timeout }
+
+// SetDeadline caps every subsequent receive wait by an absolute
+// deadline: the per-message timer still applies, but no wait extends
+// past the deadline, and a wait entered after it returns a
+// DeadlineError immediately. A zero time clears the cap. The pass
+// driver (core) sets it from the serving request's context so a stalled
+// committee fails the pass in bounded time instead of hanging.
+func (r *Router) SetDeadline(t time.Time) {
+	if t.IsZero() {
+		r.deadline.Store(0)
+		return
+	}
+	r.deadline.Store(t.UnixNano())
+}
+
+// hardDeadline returns the active pass deadline, zero when none is set.
+func (r *Router) hardDeadline() time.Time {
+	ns := r.deadline.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
 
 // Send delivers payload to the peer under the given session and step.
 func (r *Router) Send(to int, session, step string, payload []byte) error {
@@ -171,14 +223,27 @@ func (r *Router) Expect(from int, session, step string) (transport.Message, erro
 	}
 	deadline := time.Now().Add(r.timeout)
 	for {
+		hard := r.hardDeadline()
+		if !hard.IsZero() && !time.Now().Before(hard) {
+			return transport.Message{}, &DeadlineError{Session: session, Step: step}
+		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			return transport.Message{}, &TimeoutError{From: from, Session: session, Step: step}
 		}
+		if !hard.IsZero() {
+			if hr := time.Until(hard); hr < remaining {
+				remaining = hr
+			}
+		}
 		msg, err := r.ep.Recv(remaining)
 		if err != nil {
 			if err == transport.ErrTimeout {
-				return transport.Message{}, &TimeoutError{From: from, Session: session, Step: step}
+				// The shortened wait may have expired on the pass deadline
+				// rather than the per-message timer; the loop head sorts
+				// out which, so a deadline expiry is never misattributed
+				// to the peer as a delivery timeout.
+				continue
 			}
 			return transport.Message{}, err
 		}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -33,7 +35,7 @@ type stubEngine struct {
 	batchSizes []int
 }
 
-func (s *stubEngine) InferBatch(imgs []mnist.Image) ([]int, error) {
+func (s *stubEngine) InferBatch(_ context.Context, imgs []mnist.Image) ([]int, error) {
 	if s.delay > 0 {
 		time.Sleep(s.delay)
 	}
@@ -166,18 +168,24 @@ func TestGatewayBackpressure(t *testing.T) {
 }
 
 // TestGatewayEngineErrorFansOut checks a failed secure pass reports the
-// error to every member of the batch rather than wedging them.
+// error to every member of the batch rather than wedging them. With a
+// single engine there is nowhere to fail over to, so once the retry
+// budget is spent the caller sees ErrRetriesExhausted carrying the
+// engine's own message.
 func TestGatewayEngineErrorFansOut(t *testing.T) {
 	boom := errors.New("pass failed")
-	g := serve.New(&stubEngine{fail: boom}, serve.Config{MaxBatch: 4, QueueBound: 16})
+	g := serve.New(&stubEngine{fail: boom}, serve.Config{
+		MaxBatch: 4, QueueBound: 32, RetryBudget: -1, FailThreshold: -1,
+	})
 	defer g.Close()
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := g.Classify(context.Background(), taggedImage(1)); !errors.Is(err, boom) {
-				t.Errorf("got %v, want engine error", err)
+			_, err := g.Classify(context.Background(), taggedImage(1))
+			if !errors.Is(err, serve.ErrRetriesExhausted) || !strings.Contains(err.Error(), boom.Error()) {
+				t.Errorf("got %v, want ErrRetriesExhausted carrying %q", err, boom)
 			}
 		}()
 	}
@@ -311,6 +319,11 @@ func TestHandlerValidation(t *testing.T) {
 	} else {
 		resp.Body.Close()
 	}
+	if resp, err := http.Get(srv.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz with a healthy engine: %v %v", resp.Status, err)
+	} else {
+		resp.Body.Close()
+	}
 	if resp, err := http.Get(srv.URL + "/infer"); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /infer: got %v %v, want 405", resp.Status, err)
 	} else {
@@ -420,7 +433,7 @@ func newClusterGateway(t *testing.T, batch int) (*serve.Gateway, *core.Cluster, 
 		t.Fatal(err)
 	}
 	ds := mnist.Synthetic(31, 8)
-	expect, err := run.InferBatch(ds.Images)
+	expect, err := run.InferBatch(context.Background(), ds.Images)
 	if err != nil {
 		cluster.Close()
 		t.Fatal(err)
@@ -555,5 +568,282 @@ func TestMultiEngineCloseDrains(t *testing.T) {
 		if err != nil && !errors.Is(err, serve.ErrClosed) {
 			t.Fatalf("unexpected error at shutdown: %v", err)
 		}
+	}
+}
+
+// flakyEngine fails its first N passes (probes included) and then
+// behaves like its embedded stubEngine — the shape of a committee that
+// recovers after a transient stall.
+type flakyEngine struct {
+	stubEngine
+	remaining atomic.Int32
+}
+
+func (f *flakyEngine) InferBatch(ctx context.Context, imgs []mnist.Image) ([]int, error) {
+	if f.remaining.Add(-1) >= 0 {
+		return nil, errors.New("transient pass failure")
+	}
+	return f.stubEngine.InferBatch(ctx, imgs)
+}
+
+// TestGatewayBreakerQuarantineAndProbeReadmission walks the breaker
+// through its whole life cycle deterministically: two failed passes
+// trip quarantine, the first probe fails (stays quarantined), the
+// second probe passes cleanly against ProbeExpect and re-admits the
+// engine, and the original request — still within its retry budget —
+// finally gets its label.
+func TestGatewayBreakerQuarantineAndProbeReadmission(t *testing.T) {
+	eng := &flakyEngine{}
+	eng.remaining.Store(3) // two real passes + the first probe
+	reg := obs.NewRegistry("test")
+	g := serve.New(eng, serve.Config{
+		MaxBatch: 1, MaxDelay: -1, QueueBound: 16,
+		RetryBudget: 4, FailThreshold: 2, ProbeEvery: 2 * time.Millisecond,
+		Probe: []mnist.Image{taggedImage(9)}, ProbeExpect: []int{9},
+		Obs: reg,
+	})
+	defer g.Close()
+
+	label, err := g.Classify(context.Background(), taggedImage(5))
+	if err != nil || label != 5 {
+		t.Fatalf("classify through quarantine: label %d, err %v", label, err)
+	}
+	if got := reg.Counter("serve.probes").Value(); got < 2 {
+		t.Errorf("serve.probes = %d, want >= 2 (one failed, one clean)", got)
+	}
+	if got := reg.Counter("serve.probes.failed").Value(); got < 1 {
+		t.Errorf("serve.probes.failed = %d, want >= 1", got)
+	}
+	if got := reg.Counter("serve.retries").Value(); got < 2 {
+		t.Errorf("serve.retries = %d, want >= 2", got)
+	}
+	if got := g.HealthyEngines(); got != 1 {
+		t.Errorf("HealthyEngines = %d after re-admission, want 1", got)
+	}
+	if got := reg.Gauge("serve.quarantined").Value(); got != 0 {
+		t.Errorf("serve.quarantined = %d after re-admission, want 0", got)
+	}
+}
+
+// TestGatewayFailoverAcrossEngines pairs a permanently failing engine
+// with a healthy one: every request must still be answered correctly,
+// because a batch that fails on the bad engine is re-dispatched and the
+// tried-engine mask steers the retry onto the good one.
+func TestGatewayFailoverAcrossEngines(t *testing.T) {
+	bad := &stubEngine{fail: errors.New("committee down")}
+	good := &stubEngine{delay: time.Millisecond}
+	reg := obs.NewRegistry("test")
+	g := serve.NewMulti([]serve.Inferencer{bad, good}, serve.Config{
+		MaxBatch: 4, MaxDelay: -1, QueueBound: 256,
+		RetryBudget: 1, FailThreshold: -1, Obs: reg,
+	})
+	defer g.Close()
+
+	const total = 32
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			label, err := g.Classify(context.Background(), taggedImage(i))
+			if err != nil {
+				t.Errorf("request %d: %v (should have failed over)", i, err)
+				return
+			}
+			if label != i {
+				t.Errorf("request %d answered with label %d", i, label)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if reg.Counter("serve.retries").Value() == 0 {
+		t.Error("no retries recorded; the failing engine never pulled a batch")
+	}
+	if got := reg.Counter("serve.responses").Value(); got != total {
+		t.Errorf("serve.responses = %d, want %d", got, total)
+	}
+}
+
+// TestGatewayEvictAndReadyz checks the permanent-removal path: an
+// evicted engine stops serving, /readyz flips to 503 with a Retry-After
+// hint while /healthz stays a pure liveness 200, and Classify fails
+// fast with ErrNoHealthyEngines. A two-engine gateway that loses one
+// keeps serving on the other.
+func TestGatewayEvictAndReadyz(t *testing.T) {
+	reg := obs.NewRegistry("test")
+	g := serve.New(&stubEngine{}, serve.Config{Obs: reg})
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	g.Evict(0)
+	g.Evict(0) // idempotent
+	if got := g.HealthyEngines(); got != 0 {
+		t.Fatalf("HealthyEngines = %d after evicting the only engine, want 0", got)
+	}
+	if got := reg.Gauge("serve.evicted").Value(); got != 1 {
+		t.Errorf("serve.evicted = %d, want 1", got)
+	}
+	if _, err := g.Classify(context.Background(), taggedImage(1)); !errors.Is(err, serve.ErrNoHealthyEngines) {
+		t.Fatalf("classify on an all-evicted gateway: got %v, want ErrNoHealthyEngines", err)
+	}
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with no healthy engines: got %s, want 503", resp.Status)
+	}
+	if ra, convErr := strconv.Atoi(resp.Header.Get("Retry-After")); convErr != nil || ra < 1 || ra > 60 {
+		t.Errorf("readyz Retry-After = %q, want integer in [1,60]", resp.Header.Get("Retry-After"))
+	}
+	if resp, err := http.Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz must stay liveness-only after eviction: %v %v", resp.Status, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	g2 := serve.NewMulti([]serve.Inferencer{&stubEngine{}, &stubEngine{}}, serve.Config{})
+	defer g2.Close()
+	g2.Evict(1)
+	if got := g2.HealthyEngines(); got != 1 {
+		t.Fatalf("HealthyEngines = %d after evicting one of two, want 1", got)
+	}
+	if label, err := g2.Classify(context.Background(), taggedImage(4)); err != nil || label != 4 {
+		t.Fatalf("classify with one engine evicted: label %d, err %v", label, err)
+	}
+}
+
+// wedgeEngine blocks inside InferBatch ignoring the context — the
+// serve-layer view of a party stalled mid-send, where even the router
+// deadline cannot unwind the pass.
+type wedgeEngine struct {
+	stubEngine
+	release chan struct{}
+	wedged  atomic.Bool
+}
+
+func (w *wedgeEngine) InferBatch(ctx context.Context, imgs []mnist.Image) ([]int, error) {
+	if w.wedged.Load() {
+		<-w.release
+	}
+	return w.stubEngine.InferBatch(ctx, imgs)
+}
+
+// TestGatewayDeadlineParksWedgedEngine checks the orphan-pass contract:
+// a pass that ignores its deadline unblocks the caller anyway (with a
+// terminal retry error), the engine stays parked — never reused while
+// the abandoned pass is outstanding — and once the wedge releases, the
+// gateway serves again on the same engine.
+func TestGatewayDeadlineParksWedgedEngine(t *testing.T) {
+	eng := &wedgeEngine{release: make(chan struct{})}
+	eng.wedged.Store(true)
+	g := serve.New(eng, serve.Config{
+		MaxBatch: 1, MaxDelay: -1, QueueBound: 16,
+		RequestTimeout: 5 * time.Millisecond, RetryBudget: -1, FailThreshold: -1,
+	})
+	defer g.Close()
+
+	start := time.Now()
+	_, err := g.Classify(context.Background(), taggedImage(1))
+	if !errors.Is(err, serve.ErrRetriesExhausted) {
+		t.Fatalf("wedged pass: got %v, want ErrRetriesExhausted", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("caller blocked %v behind a wedged engine; the pass deadline should cap it", waited)
+	}
+	eng.wedged.Store(false)
+	close(eng.release) // the parked pass unwinds; the dispatcher resumes
+	if label, err := g.Classify(context.Background(), taggedImage(7)); err != nil || label != 7 {
+		t.Fatalf("post-release classify: label %d, err %v", label, err)
+	}
+}
+
+// TestGatewayCloseRaceNoLeak races Close against in-flight collect and
+// serve across several gateway lifecycles under the race detector:
+// every caller gets exactly one reply (label, ErrOverloaded or
+// ErrClosed), post-close Classify is ErrClosed, and the goroutine count
+// returns to baseline — no dispatcher or pass-runner leaks.
+func TestGatewayCloseRaceNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for round := 0; round < 4; round++ {
+		eng := &stubEngine{delay: time.Millisecond}
+		g := serve.NewMulti([]serve.Inferencer{eng, eng}, serve.Config{MaxBatch: 4, QueueBound: 16})
+		var replies atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < 48; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				label, err := g.Classify(context.Background(), taggedImage(i))
+				replies.Add(1)
+				switch {
+				case err == nil:
+					if label != i {
+						t.Errorf("round %d request %d answered with label %d", round, i, label)
+					}
+				case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrClosed):
+				default:
+					t.Errorf("round %d request %d: unexpected error %v", round, i, err)
+				}
+			}(i)
+		}
+		time.Sleep(time.Duration(round) * time.Millisecond)
+		g.Close()
+		wg.Wait()
+		if got := replies.Load(); got != 48 {
+			t.Fatalf("round %d: %d replies for 48 requests", round, got)
+		}
+		if _, err := g.Classify(context.Background(), taggedImage(0)); !errors.Is(err, serve.ErrClosed) {
+			t.Fatalf("round %d: classify after close got %v, want ErrClosed", round, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+2 {
+		t.Errorf("goroutines grew from %d to %d across 4 gateway lifecycles: leak", base, n)
+	}
+}
+
+// TestHandlerRetryAfterOn429 floods a one-deep queue and checks shed
+// requests carry a derived Retry-After header that parses to a sane
+// number of seconds.
+func TestHandlerRetryAfterOn429(t *testing.T) {
+	g := serve.New(&stubEngine{delay: 10 * time.Millisecond}, serve.Config{
+		MaxBatch: 1, MaxDelay: -1, QueueBound: 1,
+	})
+	defer g.Close()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	img := taggedImage(1)
+	body, _ := json.Marshal(serve.Request{Pixels: img.Pixels[:]})
+	var saw429 atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/infer", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("post: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				saw429.Store(true)
+				ra := resp.Header.Get("Retry-After")
+				if secs, convErr := strconv.Atoi(ra); convErr != nil || secs < 1 || secs > 60 {
+					t.Errorf("429 Retry-After = %q, want integer seconds in [1,60]", ra)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !saw429.Load() {
+		t.Error("16 concurrent posts against a 1-deep queue shed nothing")
 	}
 }

@@ -1,0 +1,67 @@
+// The availability measurement at the public API level: with one of
+// two committees faulted mid-load, the gateway's deadlines, retries and
+// circuit breakers must keep serving on the survivor and restore full
+// capacity once the window closes.
+package trustddl_test
+
+import (
+	"testing"
+
+	trustddl "github.com/trustddl/trustddl"
+)
+
+// TestBenchResilienceJSON runs the chaos measurement, asserts the
+// availability contract per fault window, and persists
+// BENCH_resilience.json for trend tracking across PRs.
+func TestBenchResilienceJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos measurement against a live gateway; skipped in -short runs")
+	}
+	cfg := trustddl.ResilienceConfig{Committees: 2, Seed: 1}
+	res, err := trustddl.ResilienceBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d fault rows, want 3 (stall, crash, byzantine)", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		for _, ph := range []struct {
+			name string
+			p    trustddl.ResiliencePhase
+		}{{"before", r.Before}, {"during", r.During}, {"after", r.After}} {
+			if ph.p.Sent == 0 {
+				t.Errorf("%s/%s: no requests sent", r.Fault, ph.name)
+			}
+			if ph.p.Mismatched != 0 {
+				t.Errorf("%s/%s: %d responses carried a wrong label", r.Fault, ph.name, ph.p.Mismatched)
+			}
+		}
+		// The acceptance property: one faulted committee out of two must
+		// not take availability below 95% inside the window, and the
+		// phases around it must be clean.
+		if r.During.Availability < 0.95 {
+			t.Errorf("%s: availability during the fault window %.3f, want >= 0.95", r.Fault, r.During.Availability)
+		}
+		if r.Before.Availability < 1 {
+			t.Errorf("%s: availability before the window %.3f, want 1.0", r.Fault, r.Before.Availability)
+		}
+		if r.After.Availability < 1 {
+			t.Errorf("%s: availability after recovery %.3f, want 1.0 (capacity not restored)", r.Fault, r.After.Availability)
+		}
+		if len(r.Evicted) != 0 {
+			t.Errorf("%s: engines %v evicted; none of these faults yields attributable majority evidence", r.Fault, r.Evicted)
+		}
+	}
+	// The stall and crash windows must actually engage the retry
+	// machinery — an untouched counter would mean the fault never bit.
+	for _, r := range res.Rows {
+		if (r.Fault == "stall" || r.Fault == "crash") && r.Retries == 0 {
+			t.Errorf("%s: no retries recorded; the fault window never reached the gateway", r.Fault)
+		}
+	}
+	if err := trustddl.WriteResilienceJSON("BENCH_resilience.json", res); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + trustddl.FormatResilience(res))
+}
